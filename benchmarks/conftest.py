@@ -1,0 +1,12 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def evaluations():
+    """One detection+execution pass shared by every table/figure bench."""
+    from repro.experiments.harness import evaluate_workload
+    from repro.workloads import all_workloads
+
+    return {w.name: evaluate_workload(w) for w in all_workloads()}

@@ -1,0 +1,17 @@
+"""Figure 16 — detected idioms per benchmark, by type."""
+
+from repro.experiments.harness import fig16
+from repro.workloads import all_workloads
+
+
+def test_fig16_regeneration(benchmark):
+    data = benchmark.pedantic(fig16, rounds=1, iterations=1)
+    assert len(data) == 21
+    for w in all_workloads():
+        expected = {k: v for k, v in w.expected.items() if v}
+        assert data[w.name] == expected, w.name
+    # Headline instances called out in the paper's text:
+    assert data["CG"]["sparse_matrix_op"] == 2
+    assert data["sgemm"]["matrix_op"] == 1
+    assert data["MG"]["stencil"] == 3
+    assert data["histo"]["histogram_reduction"] == 1

@@ -1,0 +1,17 @@
+"""Figure 17 — runtime coverage of detected idioms (interpreter counts)."""
+
+from repro.experiments.harness import fig17
+
+
+def test_fig17_regeneration(benchmark, evaluations):
+    data = benchmark.pedantic(fig17, rounds=1, iterations=1)
+    assert len(data) == 21
+    # The paper's bimodal profile: dominant benchmarks high, others low,
+    # EP in between (~50%).
+    high = ["CG", "histo", "sgemm", "spmv", "tpacf", "MG", "lbm"]
+    low = ["BT", "DC", "FT", "SP", "bfs", "cutcp", "mri-q", "sad"]
+    for name in high:
+        assert data[name] > 60.0, (name, data[name])
+    for name in low:
+        assert data[name] < 30.0, (name, data[name])
+    assert 30.0 < data["EP"] < 80.0

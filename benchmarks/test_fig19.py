@@ -1,0 +1,19 @@
+"""Figure 19 — IDL-generated code vs handwritten OpenMP/OpenCL."""
+
+from repro.experiments.harness import fig19
+from repro.workloads import get_workload
+
+
+def test_fig19_regeneration(benchmark, evaluations):
+    data = benchmark.pedantic(fig19, rounds=1, iterations=1)
+    assert len(data) == 10
+    for name, row in data.items():
+        workload = get_workload(name)
+        if workload.reference_rewrites_algorithm:
+            # EP, IS, MG, tpacf: whole-application rewrites win (paper:
+            # "beyond the domain of automation").
+            assert row["OpenCL"] > row["IDL"], name
+        else:
+            # Comparable-or-better against non-rewritten references.
+            assert row["IDL"] >= 0.8 * row["OpenCL"], name
+        assert row["OpenMP"] > 1.0

@@ -1,0 +1,26 @@
+"""Table 2 — compile-time cost of IDL detection (measured wall clock)."""
+
+from repro.runtime import compile_workload
+from repro.workloads import all_workloads, get_workload
+
+
+def test_table2_regeneration(benchmark):
+    from repro.experiments.harness import table2
+
+    rows = benchmark.pedantic(table2, rounds=1, iterations=1)
+    assert len(rows) == 21
+    # Shape check: overhead exists but detection stays interactive.
+    for name, row in rows.items():
+        assert row["with_idl_s"] >= row["without_idl_s"]
+        assert row["with_idl_s"] < 60.0
+
+
+def test_detection_cost_single_benchmark(benchmark):
+    """Per-benchmark detection latency (the paper's with-IDL column)."""
+    w = get_workload("IS")
+
+    def detect_once():
+        return compile_workload(w.name, w.source)
+
+    compiled = benchmark(detect_once)
+    assert compiled.report.total() == 3

@@ -1,0 +1,85 @@
+"""Writing a new idiom in IDL — "new idioms can be easily added" (§1).
+
+Defines a SAXPY (scaled vector update) idiom from the library's building
+blocks, without touching the detector, and finds it in user code the
+built-in library does not classify. This is the paper's headline
+extensibility claim: describing a new heterogeneous API's calling pattern
+is a few lines of IDL, not a compiler pass.
+
+Run:  python examples/custom_idiom.py
+"""
+
+from repro.frontend import compile_c
+from repro.idl import IdiomCompiler
+from repro.idioms import load_library
+from repro.passes import optimize
+
+# y[i] = y[i] + alpha * x[i]: a For loop around two vector reads of the
+# same index, a multiply by a loop-invariant scalar, and a store back to
+# one of the read locations.
+SAXPY_IDL = """
+Constraint Saxpy
+( inherits For and
+  inherits VectorRead
+  with {iterator} as {idx}
+  and {begin} as {begin} at {xread} and
+  inherits VectorRead
+  with {iterator} as {idx}
+  and {begin} as {begin} at {yread} and
+  {xread.base_pointer} is not the same as {yread.base_pointer} and
+  {scaled} is fmul instruction and
+  ( ( {xread.value} is first argument of {scaled} and
+      {alpha} is second argument of {scaled} ) or
+    ( {alpha} is first argument of {scaled} and
+      {xread.value} is second argument of {scaled} ) ) and
+  {alpha} strictly control flow dominates {begin} and
+  {update} is fadd instruction and
+  ( ( {yread.value} is first argument of {update} and
+      {scaled} is second argument of {update} ) or
+    ( {scaled} is first argument of {update} and
+      {yread.value} is second argument of {update} ) ) and
+  {store} is store instruction and
+  {update} is first argument of {store} and
+  {yread.address} is second argument of {store} )
+End
+"""
+
+C_SOURCE = """
+void daxpy(int n, double alpha, double *x, double *y) {
+  for (int i = 0; i < n; i++)
+    y[i] = y[i] + alpha * x[i];
+}
+
+void unrelated(int n, double *x) {
+  for (int i = 0; i < n; i++)
+    x[i] = x[i] * 2.0;
+}
+"""
+
+
+def main() -> None:
+    module = compile_c(C_SOURCE)
+    optimize(module)
+
+    idl = IdiomCompiler()
+    load_library(idl)          # For, VectorRead, ... building blocks
+    idl.load(SAXPY_IDL)        # our new idiom, ~20 lines of IDL
+
+    print("Searching for the custom Saxpy idiom...")
+    for fname in ("daxpy", "unrelated"):
+        solutions = idl.match(module.get_function(fname), "Saxpy")
+        print(f"  @{fname}: {len(solutions)} match(es)")
+        for sol in solutions:
+            print(f"    x = {sol['xread.base_pointer'].ref()}, "
+                  f"y = {sol['yread.base_pointer'].ref()}, "
+                  f"alpha = {sol['alpha'].ref()}")
+
+    daxpy = idl.match(module.get_function("daxpy"), "Saxpy")
+    assert len(daxpy) == 1
+    assert idl.match(module.get_function("unrelated"), "Saxpy") == []
+    print("\nSaxpy found exactly where it should be — no compiler "
+          "changes required.")
+
+
+if __name__ == "__main__":
+    main()

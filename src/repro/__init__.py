@@ -1,0 +1,21 @@
+"""repro — reproduction of "Automatic Matching of Legacy Code to
+Heterogeneous APIs: An Idiomatic Approach" (ASPLOS 2018).
+
+Subpackages:
+
+* :mod:`repro.ir` — LLVM-like SSA IR (types, instructions, parser/printer).
+* :mod:`repro.frontend` — mini-C compiler producing that IR.
+* :mod:`repro.passes` — mem2reg, CSE, LICM, DCE, CFG simplification, etc.
+* :mod:`repro.analysis` — dominators, loops, SESE, data/memory flow.
+* :mod:`repro.idl` — the Idiom Description Language and constraint solver.
+* :mod:`repro.idioms` — the IDL idiom library and detection driver.
+* :mod:`repro.detect` — Polly/ICC baseline comparator models.
+* :mod:`repro.transform` — idiom replacement and kernel extraction.
+* :mod:`repro.backends` — simulated vendor libraries + Halide/Lift DSLs.
+* :mod:`repro.platform` — machine and roofline cost models.
+* :mod:`repro.runtime` — IR interpreter, memory model, benchmark runner.
+* :mod:`repro.workloads` — 21 NAS/Parboil benchmark recreations.
+* :mod:`repro.experiments` — regeneration of every table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,214 @@
+"""Dominator and post-dominator trees (Cooper-Harvey-Kennedy).
+
+One generic core handles four variants: {dominance, post-dominance} ×
+{block granularity, instruction granularity}. Queries are O(1) via
+Euler-tour interval numbering of the dominator tree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..ir.instructions import Instruction
+from ..ir.module import BasicBlock, Function
+from .cfg import InstructionCFG, generic_rpo
+
+
+class _VirtualExit:
+    """Synthetic sink joining all function exits for post-dominance."""
+
+    def __repr__(self) -> str:
+        return "<virtual-exit>"
+
+
+class GenericDomTree:
+    """Dominator tree over an arbitrary graph."""
+
+    def __init__(self, nodes: list, entries: list, successors: Callable,
+                 predecessors: Callable):
+        if not entries:
+            raise ValueError("dominator tree needs at least one entry")
+        self._virtual_root = None
+        if len(entries) > 1:
+            self._virtual_root = _VirtualExit()
+            real_entries = list(entries)
+            old_succ, old_pred = successors, predecessors
+
+            def successors(n, _r=self._virtual_root, _e=real_entries, _s=old_succ):
+                return _e if n is _r else _s(n)
+
+            def predecessors(n, _r=self._virtual_root, _e=real_entries,
+                             _p=old_pred):
+                base = list(_p(n))
+                if any(n is e for e in _e):
+                    base.append(_r)
+                return base
+
+            entries = [self._virtual_root]
+            nodes = [self._virtual_root] + list(nodes)
+
+        self.root = entries[0]
+        rpo = generic_rpo(entries, successors)
+        self._rpo_index = {id(n): i for i, n in enumerate(rpo)}
+        self._idom: dict[int, object] = {id(self.root): self.root}
+
+        changed = True
+        while changed:
+            changed = False
+            for node in rpo:
+                if node is self.root:
+                    continue
+                new_idom = None
+                for pred in predecessors(node):
+                    if id(pred) not in self._rpo_index:
+                        continue  # unreachable predecessor
+                    if id(pred) in self._idom:
+                        if new_idom is None:
+                            new_idom = pred
+                        else:
+                            new_idom = self._intersect(pred, new_idom)
+                if new_idom is not None and \
+                        self._idom.get(id(node)) is not new_idom:
+                    self._idom[id(node)] = new_idom
+                    changed = True
+
+        self._children: dict[int, list] = {id(n): [] for n in rpo}
+        self._node_by_id = {id(n): n for n in rpo}
+        for node in rpo:
+            if node is self.root:
+                continue
+            idom = self._idom.get(id(node))
+            if idom is not None:
+                self._children[id(idom)].append(node)
+        self._number()
+
+    def _intersect(self, a, b):
+        idx = self._rpo_index
+        while a is not b:
+            while idx[id(a)] > idx[id(b)]:
+                a = self._idom[id(a)]
+            while idx[id(b)] > idx[id(a)]:
+                b = self._idom[id(b)]
+        return a
+
+    def _number(self) -> None:
+        self._tin: dict[int, int] = {}
+        self._tout: dict[int, int] = {}
+        clock = 0
+        stack: list[tuple[object, bool]] = [(self.root, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                self._tout[id(node)] = clock
+                clock += 1
+                continue
+            self._tin[id(node)] = clock
+            clock += 1
+            stack.append((node, True))
+            for child in self._children[id(node)]:
+                stack.append((child, False))
+
+    # -- queries -------------------------------------------------------------
+    def contains(self, node) -> bool:
+        return id(node) in self._tin
+
+    def dominates(self, a, b) -> bool:
+        """a dominates b (reflexive). Unreachable nodes dominate nothing."""
+        if id(a) not in self._tin or id(b) not in self._tin:
+            return False
+        return (self._tin[id(a)] <= self._tin[id(b)]
+                and self._tout[id(b)] <= self._tout[id(a)])
+
+    def strictly_dominates(self, a, b) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def idom(self, node):
+        """Immediate dominator, or None for the root/unreachable nodes."""
+        if node is self.root:
+            return None
+        result = self._idom.get(id(node))
+        if isinstance(result, _VirtualExit):
+            return None
+        return result
+
+    def children(self, node) -> list:
+        return [c for c in self._children.get(id(node), [])
+                if not isinstance(c, _VirtualExit)]
+
+
+class DominatorTree:
+    """Facade bundling the four dominance variants used by IDL atoms."""
+
+    def __init__(self, tree: GenericDomTree, post: bool):
+        self._tree = tree
+        self.post = post
+
+    # -- constructors ------------------------------------------------------------
+    @classmethod
+    def block_level(cls, function: Function, post: bool = False) -> "DominatorTree":
+        blocks = function.blocks
+        if post:
+            exits = [b for b in blocks
+                     if not b.successors() and b.terminator is not None]
+            # Include blocks that loop forever by treating them as non-exits;
+            # with no exits at all, fall back to the last block.
+            if not exits:
+                exits = [blocks[-1]]
+            tree = GenericDomTree(blocks, exits,
+                                  lambda b: b.predecessors(),
+                                  lambda b: b.successors())
+        else:
+            tree = GenericDomTree(blocks, [function.entry],
+                                  lambda b: b.successors(),
+                                  lambda b: b.predecessors())
+        return cls(tree, post)
+
+    @classmethod
+    def instruction_level(cls, cfg: InstructionCFG,
+                          post: bool = False) -> "DominatorTree":
+        if post:
+            exits = cfg.exits()
+            if not exits:
+                exits = [cfg.nodes[-1]]
+            tree = GenericDomTree(cfg.nodes, exits, cfg.predecessors,
+                                  cfg.successors)
+        else:
+            tree = GenericDomTree(cfg.nodes, [cfg.entry], cfg.successors,
+                                  cfg.predecessors)
+        return cls(tree, post)
+
+    # -- queries ----------------------------------------------------------------
+    def dominates(self, a, b) -> bool:
+        return self._tree.dominates(a, b)
+
+    def strictly_dominates(self, a, b) -> bool:
+        return self._tree.strictly_dominates(a, b)
+
+    def dominates_block(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return self._tree.dominates(a, b)
+
+    def idom(self, node):
+        return self._tree.idom(node)
+
+    def children(self, node) -> list:
+        return self._tree.children(node)
+
+    def contains(self, node) -> bool:
+        return self._tree.contains(node)
+
+
+def dominance_frontiers(function: Function) -> dict[int, set[BasicBlock]]:
+    """Block-level dominance frontiers (for SSA construction)."""
+    tree = DominatorTree.block_level(function)
+    frontiers: dict[int, set[BasicBlock]] = {id(b): set() for b in function.blocks}
+    for block in function.blocks:
+        preds = [p for p in block.predecessors() if tree.contains(p)]
+        if len(preds) < 2:
+            continue
+        idom = tree.idom(block)
+        for pred in preds:
+            runner = pred
+            while runner is not None and runner is not idom:
+                frontiers[id(runner)].add(block)
+                runner = tree.idom(runner)
+    return frontiers

@@ -1,0 +1,71 @@
+"""Per-function analysis cache.
+
+Constructing dominator trees is the expensive part of constraint solving;
+:class:`FunctionAnalyses` computes each analysis once per function and the
+IDL atoms share it. Invalidate (drop) the object after transforming IR.
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Function
+from .cfg import InstructionCFG
+from .dominators import DominatorTree
+from .loops import LoopInfo
+from .sese import ControlDependence
+
+
+class FunctionAnalyses:
+    """Lazily-computed analyses for one function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self._cfg: InstructionCFG | None = None
+        self._dom: DominatorTree | None = None
+        self._postdom: DominatorTree | None = None
+        self._block_dom: DominatorTree | None = None
+        self._block_postdom: DominatorTree | None = None
+        self._loops: LoopInfo | None = None
+        self._control_dep: ControlDependence | None = None
+
+    @property
+    def cfg(self) -> InstructionCFG:
+        if self._cfg is None:
+            self._cfg = InstructionCFG(self.function)
+        return self._cfg
+
+    @property
+    def dom(self) -> DominatorTree:
+        if self._dom is None:
+            self._dom = DominatorTree.instruction_level(self.cfg)
+        return self._dom
+
+    @property
+    def postdom(self) -> DominatorTree:
+        if self._postdom is None:
+            self._postdom = DominatorTree.instruction_level(self.cfg, post=True)
+        return self._postdom
+
+    @property
+    def block_dom(self) -> DominatorTree:
+        if self._block_dom is None:
+            self._block_dom = DominatorTree.block_level(self.function)
+        return self._block_dom
+
+    @property
+    def block_postdom(self) -> DominatorTree:
+        if self._block_postdom is None:
+            self._block_postdom = DominatorTree.block_level(
+                self.function, post=True)
+        return self._block_postdom
+
+    @property
+    def loops(self) -> LoopInfo:
+        if self._loops is None:
+            self._loops = LoopInfo(self.function)
+        return self._loops
+
+    @property
+    def control_dep(self) -> ControlDependence:
+        if self._control_dep is None:
+            self._control_dep = ControlDependence(self.cfg, self.postdom)
+        return self._control_dep

@@ -1,0 +1,104 @@
+"""Lightweight memory dependence analysis.
+
+Provides the ``dependence edge`` IDL atom and the aliasing information the
+transformer needs for its runtime guard generation (paper §6.3). The
+analysis is deliberately simple — base-pointer provenance tracking — which
+matches the paper's static treatment (it explicitly leaves full alias
+analysis to runtime checks for dense idioms and concedes unsoundness for
+sparse corner cases).
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import (
+    CallInst,
+    CastInst,
+    GEPInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    SelectInst,
+    StoreInst,
+)
+from ..ir.values import Argument, GlobalVariable, Value
+
+
+def base_pointer(pointer: Value) -> Value | None:
+    """Trace a pointer back to its root object (argument, global, alloca).
+
+    Returns None when the provenance is ambiguous (phi/select of pointers).
+    """
+    seen: set[int] = set()
+    node = pointer
+    while id(node) not in seen:
+        seen.add(id(node))
+        if isinstance(node, GEPInst):
+            node = node.pointer
+        elif isinstance(node, CastInst) and node.opcode == "bitcast":
+            node = node.value
+        elif isinstance(node, (PhiInst, SelectInst)):
+            return None
+        else:
+            return node
+    return None
+
+
+def may_alias(a: Value, b: Value) -> bool:
+    """May the two pointer values reference overlapping memory?
+
+    Distinct allocas never alias; distinct globals never alias; an alloca
+    never aliases a global. Everything else (e.g. two pointer arguments) may.
+    """
+    base_a = base_pointer(a)
+    base_b = base_pointer(b)
+    if base_a is None or base_b is None:
+        return True
+    if base_a is base_b:
+        return True
+    from ..ir.instructions import AllocaInst
+
+    def is_distinct_object(v: Value) -> bool:
+        return isinstance(v, (AllocaInst, GlobalVariable))
+
+    if is_distinct_object(base_a) and is_distinct_object(base_b):
+        return False
+    # GlobalsModRef-style assumption: module globals never escape this
+    # single translation unit, so a pointer argument cannot alias them
+    # (nor a non-escaping alloca). Two arguments may always alias.
+    if is_distinct_object(base_a) and isinstance(base_b, Argument):
+        return False
+    if is_distinct_object(base_b) and isinstance(base_a, Argument):
+        return False
+    return True
+
+
+def accessed_pointer(inst: Instruction) -> Value | None:
+    if isinstance(inst, LoadInst):
+        return inst.pointer
+    if isinstance(inst, StoreInst):
+        return inst.pointer
+    return None
+
+
+def has_dependence_edge(a: Instruction, b: Instruction) -> bool:
+    """IDL atom ``{a} has dependence edge to {b}``.
+
+    True when both touch memory, at least one writes, and the locations may
+    alias. Calls are treated as touching everything unless pure.
+    """
+    def writes(inst: Instruction) -> bool:
+        return isinstance(inst, StoreInst) or (
+            isinstance(inst, CallInst) and not inst.is_pure())
+
+    def touches(inst: Instruction) -> bool:
+        return isinstance(inst, (LoadInst, StoreInst)) or (
+            isinstance(inst, CallInst) and not inst.is_pure())
+
+    if not (touches(a) and touches(b)):
+        return False
+    if not (writes(a) or writes(b)):
+        return False
+    pa, pb = accessed_pointer(a), accessed_pointer(b)
+    if pa is None or pb is None:
+        return True  # an impure call conflicts with any access
+    return may_alias(pa, pb)

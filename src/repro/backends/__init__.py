@@ -1,0 +1,16 @@
+"""Heterogeneous API backends: simulated vendor libraries and mini-DSLs."""
+
+from . import blas, halide, lift, sparse
+from .api import (
+    API_DESCRIPTORS,
+    ApiCallSite,
+    ApiDescriptor,
+    ApiRuntime,
+    apis_for,
+)
+
+__all__ = [
+    "blas", "halide", "lift", "sparse",
+    "API_DESCRIPTORS", "ApiCallSite", "ApiDescriptor", "ApiRuntime",
+    "apis_for",
+]

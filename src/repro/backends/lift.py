@@ -1,0 +1,204 @@
+"""A miniature Lift: functional data-parallel patterns with rewrite rules.
+
+Models the Lift pipeline the paper uses (§5.2, Figure 15): programs are
+compositions of ``map``, ``reduce``, ``zip``, ``split``, ``join`` and
+``transpose`` over arrays, with user functions supplied as sequential C
+kernels (here: extracted kernel expressions). A small rewrite system
+mirrors Lift's exploration — e.g. map-fusion and map→mapGlobal device
+mapping — and ``compile`` lowers a pattern tree to a numpy-executable
+callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import BackendError
+
+
+# ---------------------------------------------------------------------------
+# Pattern language
+# ---------------------------------------------------------------------------
+
+class Pattern:
+    """Base class of Lift expressions."""
+
+
+@dataclass(frozen=True)
+class Input(Pattern):
+    """A named program input."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class UserFun(Pattern):
+    """A scalar user function (from an extracted kernel)."""
+
+    name: str
+    arity: int
+    fn: Callable  # vectorised: ndarray args -> ndarray
+    source: str = ""  # C source, as handed over by the IR-to-C backend
+
+
+@dataclass(frozen=True)
+class Map(Pattern):
+    fn: Pattern  # UserFun or Lambda-like composition
+    arg: Pattern
+    device: str = "seq"  # 'seq' | 'global' | 'local'
+
+
+@dataclass(frozen=True)
+class Reduce(Pattern):
+    fn: Pattern  # binary UserFun
+    init: float
+    arg: Pattern
+
+
+@dataclass(frozen=True)
+class Zip(Pattern):
+    args: tuple
+
+
+@dataclass(frozen=True)
+class Split(Pattern):
+    width: int
+    arg: Pattern
+
+
+@dataclass(frozen=True)
+class Join(Pattern):
+    arg: Pattern
+
+
+@dataclass(frozen=True)
+class Transpose(Pattern):
+    arg: Pattern
+
+
+# ---------------------------------------------------------------------------
+# Rewrite rules (Lift's exploration, abridged)
+# ---------------------------------------------------------------------------
+
+def rewrite_map_to_global(pattern: Pattern) -> Pattern:
+    """Outermost maps become device-parallel (mapGlobal)."""
+    if isinstance(pattern, Map) and pattern.device == "seq":
+        return Map(pattern.fn, pattern.arg, device="global")
+    return pattern
+
+
+def rewrite_split_join(pattern: Pattern, width: int) -> Pattern:
+    """map(f) → join ∘ map(map(f)) ∘ split — Lift's tiling rule."""
+    if isinstance(pattern, Map):
+        inner = Map(pattern.fn, Input("__chunk"), device="seq")
+        return Join(Map(_Chunked(inner), Split(width, pattern.arg),
+                        device=pattern.device))
+    return pattern
+
+
+@dataclass(frozen=True)
+class _Chunked(Pattern):
+    body: Pattern
+
+
+def apply_rewrites(pattern: Pattern,
+                   rules: list[Callable[[Pattern], Pattern]]) -> Pattern:
+    for rule in rules:
+        pattern = rule(pattern)
+    return pattern
+
+
+# ---------------------------------------------------------------------------
+# Compilation to numpy callables
+# ---------------------------------------------------------------------------
+
+def compile_pattern(pattern: Pattern) -> Callable[[dict], np.ndarray]:
+    """Lower a pattern tree to ``fn(inputs: dict[str, ndarray])``."""
+
+    def run(node: Pattern, env: dict):
+        if isinstance(node, Input):
+            if node.name not in env:
+                raise BackendError(f"unbound Lift input {node.name!r}")
+            return env[node.name]
+        if isinstance(node, Zip):
+            parts = [run(a, env) for a in node.args]
+            return tuple(parts)
+        if isinstance(node, Map):
+            arg = run(node.arg, env)
+            fn = node.fn
+            if isinstance(fn, UserFun):
+                if isinstance(arg, tuple):
+                    return fn.fn(*arg)
+                return fn.fn(arg)
+            raise BackendError("map over non-userfun")
+        if isinstance(node, Reduce):
+            arg = run(node.arg, env)
+            fn = node.fn
+            if not isinstance(fn, UserFun) or fn.arity != 2:
+                raise BackendError("reduce requires a binary user function")
+            if isinstance(arg, tuple):
+                raise BackendError("reduce over unzipped tuple")
+            if fn.name == "add":
+                return node.init + np.sum(arg)
+            if fn.name == "max":
+                return max(node.init, np.max(arg)) if np.size(arg) else \
+                    node.init
+            if fn.name == "min":
+                return min(node.init, np.min(arg)) if np.size(arg) else \
+                    node.init
+            acc = node.init
+            for value in np.asarray(arg).reshape(-1):
+                acc = fn.fn(acc, value)
+            return acc
+        if isinstance(node, Split):
+            arr = np.asarray(run(node.arg, env))
+            n = arr.shape[0] // node.width
+            return arr[:n * node.width].reshape(n, node.width,
+                                                *arr.shape[1:])
+        if isinstance(node, Join):
+            arr = np.asarray(run(node.arg, env))
+            return arr.reshape(arr.shape[0] * arr.shape[1], *arr.shape[2:])
+        if isinstance(node, Transpose):
+            return np.asarray(run(node.arg, env)).T
+        raise BackendError(f"cannot compile Lift node {node!r}")
+
+    return lambda inputs: run(pattern, inputs)
+
+
+# ---------------------------------------------------------------------------
+# Translation from detected idioms (paper §6.2)
+# ---------------------------------------------------------------------------
+
+def reduction_to_lift(delta_fn: Callable, kind: str, init: float,
+                      n_inputs: int, kernel_source: str = "") -> Pattern:
+    """reduce(op, init, map(delta, zip(inputs...))) — Figure 15's shape."""
+    op_name = {"sum": "add", "max": "max", "min": "min"}.get(kind)
+    if op_name is None:
+        raise BackendError(f"unknown reduction kind {kind!r}")
+    op = UserFun(op_name, 2, {"add": np.add, "max": np.maximum,
+                              "min": np.minimum}[op_name])
+    inputs: Pattern
+    if n_inputs == 1:
+        inputs = Input("in0")
+    else:
+        inputs = Zip(tuple(Input(f"in{i}") for i in range(n_inputs)))
+    mapped = Map(UserFun("delta", n_inputs, delta_fn, kernel_source), inputs)
+    mapped = rewrite_map_to_global(mapped)
+    return Reduce(op, init, mapped)
+
+
+def gemm_in_lift(alpha: float = 1.0, beta: float = 0.0) -> Pattern:
+    """The paper's Figure 15 GEMM skeleton (inputs: A, Bt, C)."""
+    def row_dot(a_row, b_col):
+        return np.sum(a_row * b_col)
+
+    def full(a, bt, c):
+        prod = a @ bt.T
+        return alpha * prod + beta * c
+
+    return Map(UserFun("gemm_row", 3, full), Zip((Input("A"), Input("Bt"),
+                                                  Input("C"))),
+               device="global")

@@ -1,0 +1,5 @@
+"""Baseline comparators (Polly/ICC models) for Table 1."""
+
+from .baselines import baseline_counts, icc_detects, polly_detects
+
+__all__ = ["baseline_counts", "icc_detects", "polly_detects"]

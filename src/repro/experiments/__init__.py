@@ -1,0 +1,18 @@
+"""Experiment regeneration for every table and figure in the paper."""
+
+from .harness import (
+    evaluate_workload,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    main,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "evaluate_workload", "fig16", "fig17", "fig18", "fig19", "main",
+    "table1", "table2", "table3",
+]

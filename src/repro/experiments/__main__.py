@@ -1,0 +1,7 @@
+"""``python -m repro.experiments <experiment>``."""
+
+import sys
+
+from .harness import main
+
+sys.exit(main())

@@ -1,0 +1,31 @@
+"""Mini-C front end: lexer, parser and IR code generator.
+
+The public entry point is :func:`compile_c`, which takes C source text and
+returns an (unoptimised) IR module. Run :func:`repro.passes.optimize` on the
+result to obtain the canonical SSA form the idiom detector matches on::
+
+    from repro.frontend import compile_c
+    from repro.passes import optimize
+
+    module = compile_c(open("kernel.c").read())
+    optimize(module)
+"""
+
+from .cast import CType, FunctionDef, GlobalDecl, TranslationUnit
+from .codegen import CodeGen, resolve_type
+from .lexer import Token, preprocess, strip_comments, tokenize
+from .parser import Parser, parse_c
+
+
+def compile_c(source: str, module_name: str = "module"):
+    """Compile mini-C source text to an IR module (unoptimised)."""
+    unit = parse_c(source, module_name)
+    return CodeGen(module_name).generate(unit)
+
+
+__all__ = [
+    "CType", "FunctionDef", "GlobalDecl", "TranslationUnit",
+    "CodeGen", "resolve_type",
+    "Token", "preprocess", "strip_comments", "tokenize",
+    "Parser", "parse_c", "compile_c",
+]

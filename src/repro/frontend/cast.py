@@ -1,0 +1,209 @@
+"""Abstract syntax tree for the mini-C front end.
+
+Plain dataclasses; semantic information (types) is attached during code
+generation rather than a separate sema pass — the language is small enough
+that a single typed-codegen walk stays readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SourceLocation
+
+
+# ---------------------------------------------------------------------------
+# Type expressions (syntactic; resolved to IR types in codegen)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CType:
+    """A C type: base name + pointer depth + array dimensions.
+
+    ``dims`` entries are int sizes; a leading dim of -1 means an unsized
+    array parameter (``double a[]``), which decays to a pointer.
+    """
+
+    base: str  # 'void' | 'char' | 'int' | 'long' | 'float' | 'double'
+    pointers: int = 0
+    dims: tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        text = self.base + "*" * self.pointers
+        for d in self.dims:
+            text += f"[{d if d >= 0 else ''}]"
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr:
+    location: SourceLocation | None = field(default=None, kw_only=True)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+    is_single: bool = False  # 1.0f
+
+
+@dataclass
+class NameRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    lhs: Expr | None = None
+    rhs: Expr | None = None
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""  # '-', '!', '~', '*', '&'
+    operand: Expr | None = None
+
+
+@dataclass
+class IncDecExpr(Expr):
+    op: str = "++"
+    operand: Expr | None = None
+    prefix: bool = True
+
+
+@dataclass
+class AssignExpr(Expr):
+    op: str = "="  # '=', '+=', '-=', '*=', '/='
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class ConditionalExpr(Expr):
+    cond: Expr | None = None
+    then: Expr | None = None
+    other: Expr | None = None
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class CastExpr(Expr):
+    ctype: CType | None = None
+    operand: Expr | None = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    location: SourceLocation | None = field(default=None, kw_only=True)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    ctype: CType | None = None
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass
+class CompoundStmt(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    other: Stmt | None = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Stmt | None = None  # DeclStmt or ExprStmt or None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+    do_while: bool = False
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param:
+    ctype: CType
+    name: str
+
+
+@dataclass
+class FunctionDef:
+    ret: CType
+    name: str
+    params: list[Param]
+    body: CompoundStmt | None  # None for declarations
+    location: SourceLocation | None = None
+
+
+@dataclass
+class GlobalDecl:
+    ctype: CType
+    name: str
+    init: Expr | None = None
+    const: bool = False
+    location: SourceLocation | None = None
+
+
+@dataclass
+class TranslationUnit:
+    functions: list[FunctionDef] = field(default_factory=list)
+    globals: list[GlobalDecl] = field(default_factory=list)

@@ -1,0 +1,18 @@
+"""The idiom library (IDL sources) and detection driver."""
+
+from .detector import IdiomDetector, detect_idioms, TOP_LEVEL_IDIOMS
+from .library import (
+    IDIOM_CATEGORIES,
+    LIBRARY_SOURCES,
+    SPECIFICITY_ORDER,
+    library_line_count,
+    load_library,
+)
+from .matches import CATEGORY_OF, DetectionReport, IdiomMatch
+
+__all__ = [
+    "IdiomDetector", "detect_idioms", "TOP_LEVEL_IDIOMS",
+    "IDIOM_CATEGORIES", "LIBRARY_SOURCES", "SPECIFICITY_ORDER",
+    "library_line_count", "load_library",
+    "CATEGORY_OF", "DetectionReport", "IdiomMatch",
+]

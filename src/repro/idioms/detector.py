@@ -1,0 +1,155 @@
+"""The idiom detection driver (paper Figure 1's "Constraints Solver" stage).
+
+Runs every top-level idiom over every function, deduplicates witness
+variants, applies idiom-specific post-filters and resolves overlaps by
+specificity (a GEMM loop nest is not additionally reported as the scalar
+reduction its inner loop also matches — mirroring the paper's per-idiom
+counting discipline).
+"""
+
+from __future__ import annotations
+
+from ..analysis.info import FunctionAnalyses
+from ..errors import IDLError
+from ..ir.module import Function, Module
+from ..idl.compiler import IdiomCompiler
+from .library import SPECIFICITY_ORDER, load_library
+from .matches import DetectionReport, IdiomMatch
+
+#: Idioms detected by default, in specificity order.
+TOP_LEVEL_IDIOMS: list[str] = list(SPECIFICITY_ORDER)
+
+
+class IdiomDetector:
+    """Detects the paper's five idiom classes across a module."""
+
+    def __init__(self, compiler: IdiomCompiler | None = None,
+                 idioms: list[str] | None = None,
+                 max_solutions: int = 2_000):
+        if compiler is None:
+            compiler = IdiomCompiler()
+            load_library(compiler)
+        self.compiler = compiler
+        self.idioms = idioms or list(TOP_LEVEL_IDIOMS)
+        self.max_solutions = max_solutions
+
+    # -- public API ---------------------------------------------------------------
+    def detect(self, module: Module) -> DetectionReport:
+        report = DetectionReport(module.name)
+        for function in module.functions.values():
+            report.matches.extend(self.detect_function(function))
+        return report
+
+    def detect_function(self, function: Function) -> list[IdiomMatch]:
+        if function.is_declaration():
+            return []
+        analyses = FunctionAnalyses(function)
+        matches: list[IdiomMatch] = []
+        for idiom in self.idioms:
+            found = self._detect_idiom(function, idiom, analyses)
+            matches.extend(found)
+        matches = _dedup_by_anchor(matches)
+        matches = _resolve_overlaps(matches)
+        return matches
+
+    # -- internals --------------------------------------------------------------
+    def _detect_idiom(self, function: Function, idiom: str,
+                      analyses: FunctionAnalyses) -> list[IdiomMatch]:
+        solutions = self.compiler.match(
+            function, idiom, analyses=analyses,
+            max_solutions=self.max_solutions)
+        matches = [IdiomMatch(idiom, function, sol) for sol in solutions]
+        return [m for m in matches if _post_filter(m)]
+
+
+def _post_filter(match: IdiomMatch) -> bool:
+    """Idiom-specific sanity requirements beyond the IDL constraints."""
+    if match.idiom.startswith("Stencil"):
+        offsets = match.stencil_offsets()
+        if not offsets:
+            return False  # a stencil must read something
+        # Require a true neighbourhood: some read at a nonzero offset
+        # (otherwise the loop is an elementwise map, which the paper does
+        # not count as a stencil — Table 1 reports only 6 stencils).
+        if not any(any(o != 0 for o in off) for off in offsets):
+            return False
+        # Out-of-place only: an input read from the written array means a
+        # loop-carried recurrence (Gauss-Seidel), which is not the Jacobi
+        # form the Halide/Lift translation supports.
+        write_base = match.value("write.base_pointer")
+        i = 0
+        while f"reads[{i}].base_pointer" in match.solution:
+            if match.solution[f"reads[{i}].base_pointer"] is write_base:
+                return False
+            i += 1
+        return True
+    if match.idiom == "Reduction":
+        return match.value("old_value") is not None
+    return True
+
+
+def _dedup_by_anchor(matches: list[IdiomMatch]) -> list[IdiomMatch]:
+    seen: set = set()
+    result: list[IdiomMatch] = []
+    for match in matches:
+        key = match.anchor()
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append(match)
+    return result
+
+
+def _resolve_overlaps(matches: list[IdiomMatch]) -> list[IdiomMatch]:
+    """Drop matches subsumed by a more specific idiom on the same values.
+
+    A Reduction is the inner accumulation of every SPMV/GEMM (its
+    ``old_value`` is the dot-product accumulator phi), so those matches are
+    counted once under the more specific idiom — mirroring the paper's
+    per-idiom counting. Independent idioms sharing a loop (e.g. EP's
+    histogram and conditional sum in one accept/reject loop) both count.
+    """
+    order = {name: i for i, name in enumerate(SPECIFICITY_ORDER)}
+    matches = sorted(matches, key=lambda m: order.get(m.idiom, 99))
+    claimed_accumulators: set[int] = set()
+    claimed_stores: set[int] = set()
+    kept: list[IdiomMatch] = []
+    for match in matches:
+        if match.idiom in ("SPMV", "GEMM"):
+            acc = match.value("acc") or match.value("dotp.acc")
+            if acc is not None:
+                claimed_accumulators.add(id(acc))
+            store = match.value("output.store") or match.value("store")
+            if store is not None:
+                claimed_stores.add(id(store))
+            kept.append(match)
+            continue
+        if match.idiom.startswith("Stencil"):
+            store = match.value("write.store")
+            if store is not None:
+                if id(store) in claimed_stores:
+                    continue
+                claimed_stores.add(id(store))
+            kept.append(match)
+            continue
+        if match.idiom == "Histogram":
+            store = match.value("store")
+            if store is not None:
+                if id(store) in claimed_stores:
+                    continue
+                claimed_stores.add(id(store))
+            kept.append(match)
+            continue
+        if match.idiom == "Reduction":
+            old = match.value("old_value")
+            if old is not None and id(old) in claimed_accumulators:
+                continue
+            kept.append(match)
+            continue
+        kept.append(match)
+    return kept
+
+
+def detect_idioms(module: Module) -> DetectionReport:
+    """One-shot convenience: build a detector and run it."""
+    return IdiomDetector().detect(module)

@@ -1,0 +1,759 @@
+"""The IDL idiom library (the paper's §4, Figures 9-14).
+
+Written in IDL itself, mirroring the paper's structure: generic building
+blocks (SESE, For, ForNest, vector/matrix accesses, ReadRange, OffsetIndex,
+InductionVar, ConditionalReadModifyWrite, DotProductLoop) composed into the
+five computational idioms the paper evaluates — scalar Reduction,
+generalized Histogram, SPMV, GEMM and Stencils — plus the Figure-2
+FactorizationOpportunity demonstration.
+
+Differences from the paper's (unpublished) library are deliberate and
+documented in DESIGN.md: Concat and KernelFunction are native constraints;
+stencils are per-dimension (Stencil1D/2D/3D) instead of one rank-generic
+definition.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Building blocks
+# ---------------------------------------------------------------------------
+
+SESE_IDL = """
+Constraint SESE
+( {precursor} is branch instruction and
+  {precursor} has control flow to {begin} and
+  {end} is branch instruction and
+  {end} has control flow to {successor} and
+  {begin} control flow dominates {end} and
+  {end} control flow post dominates {begin} and
+  {precursor} strictly control flow dominates {begin} and
+  {successor} strictly control flow post dominates {end} and
+  all control flow from {begin} to {precursor} passes through {end} and
+  all control flow from {successor} to {end} passes through {begin} )
+End
+"""
+
+FOR_IDL = """
+Constraint For
+( inherits SESE and
+  {iterator} is phi instruction and
+  {begin} control flow dominates {iterator} and
+  {iterator} control flow dominates {end} and
+  {latch} is branch instruction and
+  {latch} has control flow to {begin} and
+  {iter_begin} reaches phi node {iterator} from {precursor} and
+  {increment} reaches phi node {iterator} from {latch} and
+  {increment} is add instruction and
+  {iterator} is first argument of {increment} and
+  {step} is second argument of {increment} and
+  {comparison} is icmp instruction and
+  {iterator} is first argument of {comparison} and
+  {iter_end} is second argument of {comparison} and
+  {comparison} is first argument of {end} and
+  {end} has control flow to {body.begin} and
+  {body.begin} is not the same as {successor} )
+End
+"""
+
+FORNEST_IDL = """
+Constraint ForNest
+( ( inherits For at {loop[i]} ) for all i = 0 .. N-1 and
+  ( {loop[i].body.begin} control flow dominates {loop[i+1].begin}
+  ) for all i = 0 .. N-2 and
+  ( {iterator[i]} is the same as {loop[i].iterator} ) for all i = 0 .. N-1 and
+  {begin} is the same as {loop[0].begin} and
+  {end} is the same as {loop[0].end} )
+End
+"""
+
+# An index that may pass through a sign extension (clang emits sext when
+# 32-bit indices meet 64-bit addressing; our front end keeps natural widths,
+# so both shapes occur in the wild and both must match — cf. paper Fig. 5
+# binding iter_begin to a sext result).
+SEXTABLE_IDL = """
+Constraint Sextable
+( {out} is the same as {in} or
+  ( {out} is sext instruction and
+    {in} is first argument of {out} ) )
+End
+"""
+
+VECTOR_READ_FLAT_IDL = """
+Constraint VectorReadFlat
+( {address} is gep instruction and
+  {base_pointer} is first argument of {address} and
+  {base_pointer} is pointer and
+  inherits Sextable
+  with {stride_idx} as {out} and {idx} as {in} and
+  {stride_idx} is second argument of {address} and
+  {value} is load instruction and
+  {address} is first argument of {value} and
+  {base_pointer} strictly control flow dominates {begin} )
+End
+"""
+
+# Nested-array reads whose innermost index is the vector index: a[j][idx],
+# a[i][j][idx]. Leading indices are unconstrained (bound from the geps).
+VECTOR_READ_ARR2_IDL = """
+Constraint VectorReadArr2
+( {gep1} is gep instruction and
+  {base_pointer} is first argument of {gep1} and
+  {address} is gep instruction and
+  {gep1} is first argument of {address} and
+  {zero2} is second argument of {address} and
+  {zero2} is integer constant zero and
+  inherits Sextable
+  with {stride_idx} as {out} and {idx} as {in} and
+  {stride_idx} is third argument of {address} and
+  {value} is load instruction and
+  {address} is first argument of {value} and
+  {base_pointer} strictly control flow dominates {begin} )
+End
+"""
+
+VECTOR_READ_ARR3_IDL = """
+Constraint VectorReadArr3
+( {gep1} is gep instruction and
+  {base_pointer} is first argument of {gep1} and
+  {gep2} is gep instruction and
+  {gep1} is first argument of {gep2} and
+  {address} is gep instruction and
+  {gep2} is first argument of {address} and
+  {zero3} is second argument of {address} and
+  {zero3} is integer constant zero and
+  inherits Sextable
+  with {stride_idx} as {out} and {idx} as {in} and
+  {stride_idx} is third argument of {address} and
+  {value} is load instruction and
+  {address} is first argument of {value} and
+  {base_pointer} strictly control flow dominates {begin} )
+End
+"""
+
+VECTOR_READ_IDL = """
+Constraint VectorRead
+( inherits VectorReadFlat or
+  inherits VectorReadArr2 or
+  inherits VectorReadArr3 )
+End
+"""
+
+VECTOR_STORE_IDL = """
+Constraint VectorStore
+( {address} is gep instruction and
+  {base_pointer} is first argument of {address} and
+  {base_pointer} is pointer and
+  inherits Sextable
+  with {stride_idx} as {out} and {idx} as {in} and
+  {stride_idx} is second argument of {address} and
+  {store} is store instruction and
+  {address} is second argument of {store} and
+  {value} is first argument of {store} and
+  {base_pointer} strictly control flow dominates {begin} )
+End
+"""
+
+READ_RANGE_IDL = """
+Constraint ReadRange
+( {lo_address} is gep instruction and
+  {base_pointer} is first argument of {lo_address} and
+  inherits Sextable
+  with {lo_sidx} as {out} and {idx} as {in} and
+  {lo_sidx} is second argument of {lo_address} and
+  {lo_load} is load instruction and
+  {lo_address} is first argument of {lo_load} and
+  inherits Sextable
+  with {range_begin} as {out} and {lo_load} as {in} and
+  {idx_plus} is add instruction and
+  {idx} is first argument of {idx_plus} and
+  {one} is second argument of {idx_plus} and
+  {one} is integer constant one and
+  {hi_address} is gep instruction and
+  {base_pointer} is first argument of {hi_address} and
+  inherits Sextable
+  with {hi_sidx} as {out} and {idx_plus} as {in} and
+  {hi_sidx} is second argument of {hi_address} and
+  {hi_load} is load instruction and
+  {hi_address} is first argument of {hi_load} and
+  inherits Sextable
+  with {range_end} as {out} and {hi_load} as {in} )
+End
+"""
+
+INDUCTION_VAR_IDL = """
+Constraint InductionVar
+( {old_ind} is phi instruction and
+  {begin} control flow dominates {old_ind} and
+  {old_ind} control flow dominates {end} and
+  {new_ind} reaches phi node {old_ind} from {latch} and
+  {ind_init} reaches phi node {old_ind} from {precursor} )
+End
+"""
+
+CRMW_IDL = """
+Constraint ConditionalReadModifyWrite
+( {read_address} is gep instruction and
+  {base_pointer} is first argument of {read_address} and
+  inherits Sextable
+  with {read_sidx} as {out} and {address} as {in} and
+  {read_sidx} is second argument of {read_address} and
+  {old_value} is load instruction and
+  {read_address} is first argument of {old_value} and
+  {write_address} is gep instruction and
+  {base_pointer} is first argument of {write_address} and
+  inherits Sextable
+  with {write_sidx} as {out} and {address} as {in} and
+  {write_sidx} is second argument of {write_address} and
+  {store} is store instruction and
+  {value} is first argument of {store} and
+  {write_address} is second argument of {store} and
+  {body.begin} control flow dominates {old_value} and
+  {body.begin} control flow dominates {store} and
+  {old_value} control flow dominates {store} and
+  {base_pointer} strictly control flow dominates {begin} )
+End
+"""
+
+OFFSET_INDEX_IDL = """
+Constraint OffsetIndex
+( {out} is the same as {base_idx} or
+  ( {out} is add instruction and
+    {base_idx} is first argument of {out} and
+    {offset} is second argument of {out} and
+    {offset} is a constant ) or
+  ( {out} is sub instruction and
+    {base_idx} is first argument of {out} and
+    {offset} is second argument of {out} and
+    {offset} is a constant ) )
+End
+"""
+
+# A strict neighbour access: offset is a constant and not zero.
+NEIGHBOUR_INDEX_IDL = """
+Constraint NeighbourIndex
+( ( {out} is add instruction or {out} is sub instruction ) and
+  {base_idx} is first argument of {out} and
+  {offset} is second argument of {out} and
+  {offset} is a constant and
+  {offset} is integer constant one )
+End
+"""
+
+STENCIL_READ_1D_IDL = """
+Constraint StencilRead1D
+( {address} is gep instruction and
+  {base_pointer} is first argument of {address} and
+  inherits OffsetIndex
+  with {sidx} as {out} and {input} as {base_idx} at {off} and
+  {sidx} is second argument of {address} and
+  {value} is load instruction and
+  {address} is first argument of {value} and
+  {base_pointer} strictly control flow dominates {begin} )
+End
+"""
+
+DOT_PRODUCT_IDL = """
+Constraint DotProductLoop
+( {acc} is phi instruction and
+  {loop.begin} control flow dominates {acc} and
+  {acc} control flow dominates {loop.end} and
+  {acc} is not the same as {loop.iterator} and
+  {mul} is fmul instruction and
+  ( ( {src1} is first argument of {mul} and
+      {src2} is second argument of {mul} ) or
+    ( {src2} is first argument of {mul} and
+      {src1} is second argument of {mul} ) ) and
+  {acc_next} is fadd instruction and
+  ( ( {acc} is first argument of {acc_next} and
+      {mul} is second argument of {acc_next} ) or
+    ( {mul} is first argument of {acc_next} and
+      {acc} is second argument of {acc_next} ) ) and
+  {acc_next} reaches phi node {acc} from {loop.latch} and
+  {acc_init} reaches phi node {acc} from {loop.precursor} and
+  {store} is store instruction and
+  {update_address} is second argument of {store} and
+  {result} is first argument of {store} and
+  ( {result} is the same as {acc} or
+    {result} is the same as {acc_next} or
+    inherits GemmLinearCombination ) )
+End
+"""
+
+# C[i][j] = beta * C[i][j] + alpha * acc   (generalized GEMM update)
+GEMM_LINEAR_IDL = """
+Constraint GemmLinearCombination
+( {result} is fadd instruction and
+  ( ( {beta_term} is first argument of {result} and
+      {alpha_term} is second argument of {result} ) or
+    ( {alpha_term} is first argument of {result} and
+      {beta_term} is second argument of {result} ) ) and
+  {alpha_term} is fmul instruction and
+  ( ( {acc} is first argument of {alpha_term} and
+      {alpha} is second argument of {alpha_term} ) or
+    ( {alpha} is first argument of {alpha_term} and
+      {acc} is second argument of {alpha_term} ) ) and
+  {beta_term} is fmul instruction and
+  ( ( {old_out} is first argument of {beta_term} and
+      {beta} is second argument of {beta_term} ) or
+    ( {beta} is first argument of {beta_term} and
+      {old_out} is second argument of {beta_term} ) ) and
+  {old_out} is load instruction and
+  {update_address} is first argument of {old_out} )
+End
+"""
+
+# Matrix access, flattened layout: base[col + row*ld] (either operand order).
+MATRIX_READ_FLAT_IDL = """
+Constraint MatrixReadFlat
+( {flat_idx} is add instruction and
+  ( ( {col_sidx} is first argument of {flat_idx} and
+      {row_term} is second argument of {flat_idx} ) or
+    ( {row_term} is first argument of {flat_idx} and
+      {col_sidx} is second argument of {flat_idx} ) ) and
+  inherits Sextable
+  with {col_sidx} as {out} and {col} as {in} and
+  {row_term} is mul instruction and
+  ( ( {row_sidx} is first argument of {row_term} and
+      {ld} is second argument of {row_term} ) or
+    ( {ld} is first argument of {row_term} and
+      {row_sidx} is second argument of {row_term} ) ) and
+  inherits Sextable
+  with {row_sidx} as {out} and {row} as {in} and
+  {address} is gep instruction and
+  {base_pointer} is first argument of {address} and
+  {flat_idx} is second argument of {address} and
+  {value} is load instruction and
+  {address} is first argument of {value} and
+  {base_pointer} strictly control flow dominates {begin} )
+End
+"""
+
+# Matrix access, nested-array layout: base[a][b] with {a,b} = {col,row} in
+# either order (chained geps through a 2-D array object).
+MATRIX_READ_2D_IDL = """
+Constraint MatrixRead2D
+( {outer_gep} is gep instruction and
+  {base_pointer} is first argument of {outer_gep} and
+  {zero1} is second argument of {outer_gep} and
+  {zero1} is integer constant zero and
+  {first_idx} is third argument of {outer_gep} and
+  {address} is gep instruction and
+  {outer_gep} is first argument of {address} and
+  {zero2} is second argument of {address} and
+  {zero2} is integer constant zero and
+  {second_idx} is third argument of {address} and
+  ( ( {first_idx} is the same as {col} and
+      {second_idx} is the same as {row} ) or
+    ( {first_idx} is the same as {row} and
+      {second_idx} is the same as {col} ) ) and
+  {value} is load instruction and
+  {address} is first argument of {value} and
+  {base_pointer} strictly control flow dominates {begin} )
+End
+"""
+
+MATRIX_READ_IDL = """
+Constraint MatrixRead
+( inherits MatrixReadFlat or inherits MatrixRead2D )
+End
+"""
+
+MATRIX_STORE_FLAT_IDL = """
+Constraint MatrixStoreFlat
+( {flat_idx} is add instruction and
+  ( ( {col_sidx} is first argument of {flat_idx} and
+      {row_term} is second argument of {flat_idx} ) or
+    ( {row_term} is first argument of {flat_idx} and
+      {col_sidx} is second argument of {flat_idx} ) ) and
+  inherits Sextable
+  with {col_sidx} as {out} and {col} as {in} and
+  {row_term} is mul instruction and
+  ( ( {row_sidx} is first argument of {row_term} and
+      {ld} is second argument of {row_term} ) or
+    ( {ld} is first argument of {row_term} and
+      {row_sidx} is second argument of {row_term} ) ) and
+  inherits Sextable
+  with {row_sidx} as {out} and {row} as {in} and
+  {address} is gep instruction and
+  {base_pointer} is first argument of {address} and
+  {flat_idx} is second argument of {address} and
+  {store} is store instruction and
+  {address} is second argument of {store} and
+  {base_pointer} strictly control flow dominates {begin} )
+End
+"""
+
+MATRIX_STORE_2D_IDL = """
+Constraint MatrixStore2D
+( {outer_gep} is gep instruction and
+  {base_pointer} is first argument of {outer_gep} and
+  {zero1} is second argument of {outer_gep} and
+  {zero1} is integer constant zero and
+  {first_idx} is third argument of {outer_gep} and
+  {address} is gep instruction and
+  {outer_gep} is first argument of {address} and
+  {zero2} is second argument of {address} and
+  {zero2} is integer constant zero and
+  {second_idx} is third argument of {address} and
+  ( ( {first_idx} is the same as {col} and
+      {second_idx} is the same as {row} ) or
+    ( {first_idx} is the same as {row} and
+      {second_idx} is the same as {col} ) ) and
+  {store} is store instruction and
+  {address} is second argument of {store} and
+  {base_pointer} strictly control flow dominates {begin} )
+End
+"""
+
+MATRIX_STORE_IDL = """
+Constraint MatrixStore
+( inherits MatrixStoreFlat or inherits MatrixStore2D )
+End
+"""
+
+# ---------------------------------------------------------------------------
+# Top-level idioms
+# ---------------------------------------------------------------------------
+
+REDUCTION_IDL = """
+Constraint Reduction
+( inherits For and
+  collect i 12
+  ( inherits VectorRead
+    with {iterator} as {idx}
+    and {read_value[i]} as {value}
+    and {begin} as {begin} at {read[i]} ) and
+  inherits InductionVar
+  with {old_value} as {old_ind}
+  and {kernel.output} as {new_ind} and
+  {old_value} is not the same as {iterator} and
+  inherits Concat
+  with {read_value} as {in1}
+  and {old_value} as {in2}
+  and {kernel.input} as {out} and
+  inherits KernelFunction
+  with {begin} as {outer}
+  and {body.begin} as {inner} at {kernel} )
+End
+"""
+
+HISTOGRAM_IDL = """
+Constraint Histogram
+( inherits For and
+  inherits ConditionalReadModifyWrite
+  with {indexkernel.output} as {address}
+  and {kernel.output} as {value} and
+  collect i 12
+  ( inherits VectorRead
+    with {read_value[i]} as {value}
+    and {iterator} as {idx}
+    and {begin} as {begin} at {read[i]} ) and
+  inherits Concat
+  with {read_value} as {in1}
+  and {old_value} as {in2}
+  and {kernel.input} as {out} and
+  inherits KernelFunction
+  with {begin} as {outer}
+  and {body.begin} as {inner} at {kernel} and
+  inherits DataKernelFunction
+  with {read_value} as {input}
+  and {begin} as {outer}
+  and {body.begin} as {inner} at {indexkernel} )
+End
+"""
+
+SPMV_IDL = """
+Constraint SPMV
+( inherits For and
+  inherits VectorStore
+  with {iterator} as {idx}
+  and {begin} as {begin} at {output} and
+  inherits ReadRange
+  with {iterator} as {idx}
+  and {inner.iter_begin} as {range_begin}
+  and {inner.iter_end} as {range_end}
+  and {begin} as {begin} at {ranges} and
+  inherits For at {inner} and
+  {body.begin} control flow dominates {inner.begin} and
+  inherits VectorRead
+  with {inner.iterator} as {idx}
+  and {begin} as {begin} at {idx_read} and
+  inherits VectorRead
+  with {idx_read.value} as {idx}
+  and {begin} as {begin} at {indir_read} and
+  inherits VectorRead
+  with {inner.iterator} as {idx}
+  and {begin} as {begin} at {seq_read} and
+  {idx_read.base_pointer} is not the same as {seq_read.base_pointer} and
+  inherits DotProductLoop
+  with {inner} as {loop}
+  and {indir_read.value} as {src1}
+  and {seq_read.value} as {src2}
+  and {output.address} as {update_address} and
+  {store} is the same as {output.store} and
+  {acc_init} is float constant zero )
+End
+"""
+
+GEMM_IDL = """
+Constraint GEMM
+( inherits ForNest(N=3) and
+  inherits MatrixStore
+  with {iterator[0]} as {col}
+  and {iterator[1]} as {row}
+  and {begin} as {begin} at {output} and
+  inherits MatrixRead
+  with {iterator[0]} as {col}
+  and {iterator[2]} as {row}
+  and {begin} as {begin} at {input1} and
+  inherits MatrixRead
+  with {iterator[1]} as {col}
+  and {iterator[2]} as {row}
+  and {begin} as {begin} at {input2} and
+  inherits DotProductLoop
+  with {loop[2]} as {loop}
+  and {input1.value} as {src1}
+  and {input2.value} as {src2}
+  and {output.address} as {update_address} at {dotp} and
+  {dotp.store} is the same as {output.store} and
+  {dotp.acc_init} is float constant zero )
+End
+"""
+
+STENCIL1D_IDL = """
+Constraint Stencil1D
+( inherits For and
+  inherits VectorStore
+  with {iterator} as {idx}
+  and {begin} as {begin} at {write} and
+  collect i 12
+  ( inherits StencilRead1D
+    with {iterator} as {input}
+    and {kernel.input[i]} as {value}
+    and {begin} as {begin} at {reads[i]} ) and
+  {write.base_pointer} is not the same as {reads[0].base_pointer} and
+  {kernel.output} is first argument of {write.store} and
+  inherits KernelFunction
+  with {begin} as {outer}
+  and {body.begin} as {inner} at {kernel} )
+End
+"""
+
+# 2-D Jacobi-style stencil over nested arrays: writes out[i][j], reads
+# in[i±a][j±b]; both loop iterators index in row-major order.
+STENCIL_READ_2D_IDL = """
+Constraint StencilRead2D
+( {outer_gep} is gep instruction and
+  {base_pointer} is first argument of {outer_gep} and
+  {zero1} is second argument of {outer_gep} and
+  {zero1} is integer constant zero and
+  inherits OffsetIndex
+  with {sidx1} as {out} and {input[0]} as {base_idx} at {off1} and
+  {sidx1} is third argument of {outer_gep} and
+  {address} is gep instruction and
+  {outer_gep} is first argument of {address} and
+  {zero2} is second argument of {address} and
+  {zero2} is integer constant zero and
+  inherits OffsetIndex
+  with {sidx2} as {out} and {input[1]} as {base_idx} at {off2} and
+  {sidx2} is third argument of {address} and
+  {value} is load instruction and
+  {address} is first argument of {value} and
+  {base_pointer} strictly control flow dominates {begin} )
+End
+"""
+
+MULTID_STORE_2D_IDL = """
+Constraint MultidStore2D
+( {outer_gep} is gep instruction and
+  {base_pointer} is first argument of {outer_gep} and
+  {zero1} is second argument of {outer_gep} and
+  {zero1} is integer constant zero and
+  {input[0]} is third argument of {outer_gep} and
+  {address} is gep instruction and
+  {outer_gep} is first argument of {address} and
+  {zero2} is second argument of {address} and
+  {zero2} is integer constant zero and
+  {input[1]} is third argument of {address} and
+  {store} is store instruction and
+  {address} is second argument of {store} and
+  {base_pointer} strictly control flow dominates {begin} )
+End
+"""
+
+STENCIL2D_IDL = """
+Constraint Stencil2D
+( inherits ForNest(N=2) and
+  inherits MultidStore2D
+  with {iterator[0]} as {input[0]}
+  and {iterator[1]} as {input[1]}
+  and {begin} as {begin} at {write} and
+  collect i 12
+  ( inherits StencilRead2D
+    with {iterator[0]} as {input[0]}
+    and {iterator[1]} as {input[1]}
+    and {kernel.input[i]} as {value}
+    and {begin} as {begin} at {reads[i]} ) and
+  {write.base_pointer} is not the same as {reads[0].base_pointer} and
+  {kernel.output} is first argument of {write.store} and
+  inherits KernelFunction
+  with {begin} as {outer}
+  and {loop[1].body.begin} as {inner} at {kernel} )
+End
+"""
+
+STENCIL_READ_3D_IDL = """
+Constraint StencilRead3D
+( {gep1} is gep instruction and
+  {base_pointer} is first argument of {gep1} and
+  {zero1} is second argument of {gep1} and
+  {zero1} is integer constant zero and
+  inherits OffsetIndex
+  with {sidx1} as {out} and {input[0]} as {base_idx} at {off1} and
+  {sidx1} is third argument of {gep1} and
+  {gep2} is gep instruction and
+  {gep1} is first argument of {gep2} and
+  {zero2} is second argument of {gep2} and
+  {zero2} is integer constant zero and
+  inherits OffsetIndex
+  with {sidx2} as {out} and {input[1]} as {base_idx} at {off2} and
+  {sidx2} is third argument of {gep2} and
+  {address} is gep instruction and
+  {gep2} is first argument of {address} and
+  {zero3} is second argument of {address} and
+  {zero3} is integer constant zero and
+  inherits OffsetIndex
+  with {sidx3} as {out} and {input[2]} as {base_idx} at {off3} and
+  {sidx3} is third argument of {address} and
+  {value} is load instruction and
+  {address} is first argument of {value} and
+  {base_pointer} strictly control flow dominates {begin} )
+End
+"""
+
+MULTID_STORE_3D_IDL = """
+Constraint MultidStore3D
+( {gep1} is gep instruction and
+  {base_pointer} is first argument of {gep1} and
+  {zero1} is second argument of {gep1} and
+  {zero1} is integer constant zero and
+  {input[0]} is third argument of {gep1} and
+  {gep2} is gep instruction and
+  {gep1} is first argument of {gep2} and
+  {zero2} is second argument of {gep2} and
+  {zero2} is integer constant zero and
+  {input[1]} is third argument of {gep2} and
+  {address} is gep instruction and
+  {gep2} is first argument of {address} and
+  {zero3} is second argument of {address} and
+  {zero3} is integer constant zero and
+  {input[2]} is third argument of {address} and
+  {store} is store instruction and
+  {address} is second argument of {store} and
+  {base_pointer} strictly control flow dominates {begin} )
+End
+"""
+
+STENCIL3D_IDL = """
+Constraint Stencil3D
+( inherits ForNest(N=3) and
+  inherits MultidStore3D
+  with {iterator[0]} as {input[0]}
+  and {iterator[1]} as {input[1]}
+  and {iterator[2]} as {input[2]}
+  and {begin} as {begin} at {write} and
+  collect i 16
+  ( inherits StencilRead3D
+    with {iterator[0]} as {input[0]}
+    and {iterator[1]} as {input[1]}
+    and {iterator[2]} as {input[2]}
+    and {kernel.input[i]} as {value}
+    and {begin} as {begin} at {reads[i]} ) and
+  {write.base_pointer} is not the same as {reads[0].base_pointer} and
+  {kernel.output} is first argument of {write.store} and
+  inherits KernelFunction
+  with {begin} as {outer}
+  and {loop[2].body.begin} as {inner} at {kernel} )
+End
+"""
+
+FACTORIZATION_IDL = """
+Constraint FactorizationOpportunity
+( {sum} is add instruction and
+  {left_addend} is first argument of {sum} and
+  {left_addend} is mul instruction and
+  {right_addend} is second argument of {sum} and
+  {right_addend} is mul instruction and
+  ( {factor} is first argument of {left_addend} or
+    {factor} is second argument of {left_addend} ) and
+  ( {factor} is first argument of {right_addend} or
+    {factor} is second argument of {right_addend} ) )
+End
+"""
+
+#: All library sources, in dependency order.
+LIBRARY_SOURCES: list[str] = [
+    SESE_IDL,
+    FOR_IDL,
+    FORNEST_IDL,
+    SEXTABLE_IDL,
+    VECTOR_READ_FLAT_IDL,
+    VECTOR_READ_ARR2_IDL,
+    VECTOR_READ_ARR3_IDL,
+    VECTOR_READ_IDL,
+    VECTOR_STORE_IDL,
+    READ_RANGE_IDL,
+    INDUCTION_VAR_IDL,
+    CRMW_IDL,
+    OFFSET_INDEX_IDL,
+    NEIGHBOUR_INDEX_IDL,
+    STENCIL_READ_1D_IDL,
+    GEMM_LINEAR_IDL,
+    DOT_PRODUCT_IDL,
+    MATRIX_READ_FLAT_IDL,
+    MATRIX_READ_2D_IDL,
+    MATRIX_READ_IDL,
+    MATRIX_STORE_FLAT_IDL,
+    MATRIX_STORE_2D_IDL,
+    MATRIX_STORE_IDL,
+    REDUCTION_IDL,
+    HISTOGRAM_IDL,
+    SPMV_IDL,
+    GEMM_IDL,
+    STENCIL1D_IDL,
+    STENCIL_READ_2D_IDL,
+    MULTID_STORE_2D_IDL,
+    STENCIL2D_IDL,
+    STENCIL_READ_3D_IDL,
+    MULTID_STORE_3D_IDL,
+    STENCIL3D_IDL,
+    FACTORIZATION_IDL,
+]
+
+#: The idioms the paper's Table 1 counts, grouped by reported category.
+IDIOM_CATEGORIES: dict[str, list[str]] = {
+    "scalar_reduction": ["Reduction"],
+    "histogram_reduction": ["Histogram"],
+    "stencil": ["Stencil1D", "Stencil2D", "Stencil3D"],
+    "matrix_op": ["GEMM"],
+    "sparse_matrix_op": ["SPMV"],
+}
+
+#: More specific idioms shadow less specific ones during counting.
+SPECIFICITY_ORDER: list[str] = [
+    "GEMM", "SPMV", "Stencil3D", "Stencil2D", "Stencil1D",
+    "Histogram", "Reduction",
+]
+
+
+def library_line_count() -> int:
+    """Lines of IDL in the library (the paper reports ≈500 for its set)."""
+    return sum(len([l for l in src.splitlines() if l.strip()])
+               for src in LIBRARY_SOURCES)
+
+
+def load_library(compiler) -> None:
+    """Register the whole library with an :class:`IdiomCompiler`."""
+    for source in LIBRARY_SOURCES:
+        compiler.load(source)

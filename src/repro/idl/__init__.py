@@ -1,0 +1,41 @@
+"""IDL — the Idiom Description Language (paper §3/§4).
+
+A constraint language over LLVM-like SSA IR. Idioms are written as
+composable constraint specifications; the compiler lowers them to flat
+conjunction/disjunction trees of atomic predicates and a backtracking
+solver enumerates every occurrence in user code.
+"""
+
+from .ast import Specification, VarRef
+from .compiler import IdiomCompiler
+from .lexer import tokenize
+from .lowering import (
+    LAnd,
+    LAtom,
+    LCollect,
+    LNative,
+    LOr,
+    Lowerer,
+    NativeConstraint,
+    Registry,
+)
+from .natives import (
+    ConcatConstraint,
+    KernelFunctionConstraint,
+    standard_natives,
+)
+from .parser import parse_idl, parse_var_text
+from .solver import Solver
+from .atoms import AtomEngine, SolveContext, value_key, values_equal
+
+__all__ = [
+    "Specification", "VarRef",
+    "IdiomCompiler",
+    "tokenize",
+    "LAnd", "LAtom", "LCollect", "LNative", "LOr",
+    "Lowerer", "NativeConstraint", "Registry",
+    "ConcatConstraint", "KernelFunctionConstraint", "standard_natives",
+    "parse_idl", "parse_var_text",
+    "Solver",
+    "AtomEngine", "SolveContext", "value_key", "values_equal",
+]

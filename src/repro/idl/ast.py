@@ -1,0 +1,179 @@
+"""AST node definitions for IDL, mirroring the grammar of paper Figure 7."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..errors import IDLError
+
+
+# ---------------------------------------------------------------------------
+# Calculations: small integer expressions over parameters / indices
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Num:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Sym:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinCalc:
+    op: str  # '+' | '-'
+    lhs: "Calculation"
+    rhs: "Calculation"
+
+    def __str__(self) -> str:
+        return f"{self.lhs}{self.op}{self.rhs}"
+
+
+Calculation = Union[Num, Sym, BinCalc]
+
+
+def evaluate_calc(calc: Calculation, params: dict[str, int]) -> int:
+    """Evaluate a calculation with integer parameter bindings."""
+    if isinstance(calc, Num):
+        return calc.value
+    if isinstance(calc, Sym):
+        if calc.name not in params:
+            raise IDLError(f"unbound parameter {calc.name!r} in calculation")
+        return params[calc.name]
+    if isinstance(calc, BinCalc):
+        lhs = evaluate_calc(calc.lhs, params)
+        rhs = evaluate_calc(calc.rhs, params)
+        return lhs + rhs if calc.op == "+" else lhs - rhs
+    raise IDLError(f"bad calculation node {calc!r}")
+
+
+# ---------------------------------------------------------------------------
+# Variable references
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VarComponent:
+    """One dotted component, e.g. ``input[i]`` → name='input', index=Sym(i)."""
+
+    name: str
+    index: Calculation | None = None
+    index_hi: Calculation | None = None  # for ranges: input[0..4]
+
+    def __str__(self) -> str:
+        if self.index is None:
+            return self.name
+        if self.index_hi is None:
+            return f"{self.name}[{self.index}]"
+        return f"{self.name}[{self.index}..{self.index_hi}]"
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """A braces-delimited variable reference ``{a.b[i].c}``."""
+
+    components: tuple[VarComponent, ...]
+
+    def __str__(self) -> str:
+        return ".".join(str(c) for c in self.components)
+
+    def is_range(self) -> bool:
+        return any(c.index_hi is not None for c in self.components)
+
+
+# ---------------------------------------------------------------------------
+# Constraint nodes
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Atom:
+    """An atomic constraint; ``kind`` selects the predicate, ``vars`` are the
+    variable references in positional order, ``extra`` carries predicate
+    details (opcode, argument position, negation flags...)."""
+
+    kind: str
+    vars: list[VarRef]
+    extra: dict = field(default_factory=dict)
+    varlists: list[list[VarRef]] = field(default_factory=list)
+
+
+@dataclass
+class Conjunction:
+    children: list
+
+
+@dataclass
+class Disjunction:
+    children: list
+
+
+@dataclass
+class Inheritance:
+    name: str
+    params: dict[str, Calculation] = field(default_factory=dict)
+    # 'with {outer} as {inner}' pairs: maps inner name -> outer VarRef
+    renames: list[tuple[VarRef, VarRef]] = field(default_factory=list)  # (outer, inner)
+    base: VarRef | None = None  # 'at {base}' prefix for unmapped variables
+
+
+@dataclass
+class ForAll:
+    constraint: object
+    index: str
+    lo: Calculation
+    hi: Calculation
+
+
+@dataclass
+class ForSome:
+    constraint: object
+    index: str
+    lo: Calculation
+    hi: Calculation
+
+
+@dataclass
+class ForOne:
+    constraint: object
+    name: str
+    value: Calculation
+
+
+@dataclass
+class If:
+    lhs: Calculation
+    rhs: Calculation
+    then: object
+    otherwise: object
+
+
+@dataclass
+class Rename:
+    """'with {outer} as {inner}' applied to a non-inheritance grouping."""
+
+    constraint: object
+    renames: list[tuple[VarRef, VarRef]]
+    base: VarRef | None = None
+
+
+@dataclass
+class Collect:
+    index: str
+    limit: int
+    constraint: object
+
+
+@dataclass
+class Specification:
+    """Top level: ``Constraint <name> ... End``."""
+
+    name: str
+    constraint: object

@@ -1,0 +1,407 @@
+"""Semantics of IDL atomic constraints over the IR.
+
+Every atom supports ``check`` (all variables bound) and, where the relation
+is efficiently enumerable, ``candidates`` (exactly one variable unbound) —
+the generator functions the backtracking solver uses to drive the search.
+``cost`` ranks how cheap an atom is to execute in the current environment;
+the solver always runs the cheapest ready constraint next, implementing the
+paper's "variables are collected and ordered to assist constraint solving".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..analysis.dataflow import (
+    all_data_flow_passes_through,
+    data_operands,
+    data_users,
+    flow_killed_by,
+    has_dataflow_edge,
+)
+from ..analysis.info import FunctionAnalyses
+from ..analysis.memdep import has_dependence_edge
+from ..errors import IDLError
+from ..ir.instructions import BranchInst, Instruction, PhiInst
+from ..ir.module import BasicBlock, Function
+from ..ir.values import (
+    Argument,
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    GlobalVariable,
+    Value,
+)
+from .lowering import LAtom
+
+#: Cost ranks (lower runs earlier).
+COST_CHECK = 0
+COST_UNIT = 1
+COST_SMALL = 2
+COST_OPCODE = 10
+COST_CLASS = 20
+COST_SCAN = 40
+COST_NOT_READY = 1000
+
+
+def values_equal(a: Value, b: Value) -> bool:
+    """Identity, except structural equality for scalar constants."""
+    if a is b:
+        return True
+    if isinstance(a, (ConstantInt, ConstantFloat)) and \
+            isinstance(b, (ConstantInt, ConstantFloat)):
+        return a == b
+    return False
+
+
+def value_key(value: Value):
+    """A hashable identity for solution deduplication."""
+    if isinstance(value, ConstantInt):
+        return ("ci", value.type, value.value)
+    if isinstance(value, ConstantFloat):
+        return ("cf", value.type, value.value)
+    return id(value)
+
+
+class SolveContext:
+    """Per-function state shared by all atoms during one solve."""
+
+    def __init__(self, function: Function,
+                 analyses: FunctionAnalyses | None = None):
+        self.function = function
+        self.analyses = analyses or FunctionAnalyses(function)
+        self.by_opcode: dict[str, list[Instruction]] = {}
+        for inst in function.instructions():
+            self.by_opcode.setdefault(inst.opcode, []).append(inst)
+        module = function.module
+        self.globals: list[GlobalVariable] = (
+            list(module.globals.values()) if module is not None else [])
+        self.universe: list[Value] = (
+            list(function.args) + self.globals +
+            [i for i in function.instructions()])
+
+    # -- helpers -------------------------------------------------------------
+    def dominates(self, a: Value, b: Value, strict: bool, post: bool) -> bool:
+        a_inst = isinstance(a, Instruction)
+        b_inst = isinstance(b, Instruction)
+        if not post:
+            if not a_inst:
+                # Constants/arguments/globals are defined "before entry".
+                if not b_inst:
+                    return (not strict) and values_equal(a, b)
+                return True
+            if not b_inst:
+                return False
+            dom = self.analyses.dom
+            return dom.strictly_dominates(a, b) if strict else \
+                dom.dominates(a, b)
+        if not a_inst or not b_inst:
+            return (not strict) and values_equal(a, b)
+        postdom = self.analyses.postdom
+        return postdom.strictly_dominates(a, b) if strict else \
+            postdom.dominates(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Classification helpers
+# ---------------------------------------------------------------------------
+
+def _is_constant(value: Value) -> bool:
+    return isinstance(value, Constant) and not isinstance(value, GlobalVariable)
+
+
+def _is_compile_time(value: Value) -> bool:
+    return isinstance(value, Constant)
+
+
+def _class_check(cls: str, value: Value) -> bool:
+    if cls == "unused":
+        return not value.uses
+    if cls == "constant":
+        return _is_constant(value)
+    if cls == "compile_time":
+        return _is_compile_time(value)
+    if cls == "argument":
+        return isinstance(value, Argument)
+    if cls == "instruction":
+        return isinstance(value, Instruction)
+    raise IDLError(f"unknown classification {cls!r}")
+
+
+def _type_check(extra: dict, value: Value) -> bool:
+    kind = extra["type"]
+    if kind == "integer" and not value.type.is_integer():
+        return False
+    if kind == "float" and not value.type.is_float():
+        return False
+    if kind == "pointer" and not value.type.is_pointer():
+        return False
+    const = extra.get("const")
+    if const is None:
+        return True
+    if kind == "integer":
+        return isinstance(value, ConstantInt) and \
+            value.value == (0 if const == "zero" else 1)
+    if kind == "float":
+        return isinstance(value, ConstantFloat) and \
+            value.value == (0.0 if const == "zero" else 1.0)
+    return False  # "pointer constant zero" would be null; unused
+
+
+# ---------------------------------------------------------------------------
+# Atom engine
+# ---------------------------------------------------------------------------
+
+class AtomEngine:
+    """Checks and candidate generation for lowered atoms."""
+
+    def __init__(self, context: SolveContext):
+        self.ctx = context
+
+    # -- public API -------------------------------------------------------------
+    def cost(self, atom: LAtom, env: dict) -> int:
+        unbound = [v for v in atom.free_vars() if v not in env]
+        if not unbound:
+            return COST_CHECK
+        if len(unbound) > 1:
+            # 'reaches phi node' with the phi bound binds value and branch
+            # together; everything else must wait for more bindings.
+            if atom.kind == "reaches_phi" and atom.vars[1] in env:
+                return COST_SMALL
+            return COST_NOT_READY
+        return self._generator_cost(atom, unbound[0], env)
+
+    def check(self, atom: LAtom, env: dict) -> bool:
+        values = [env[v] for v in atom.vars]
+        kind = atom.kind
+        if kind == "type":
+            return _type_check(atom.extra, values[0])
+        if kind == "class":
+            return _class_check(atom.extra["cls"], values[0])
+        if kind == "opcode":
+            return isinstance(values[0], Instruction) and \
+                values[0].opcode == atom.extra["opcode"]
+        if kind == "same":
+            equal = values_equal(values[0], values[1])
+            return (not equal) if atom.extra["negated"] else equal
+        if kind == "argument_of":
+            return self._check_argument_of(atom, values[0], values[1])
+        if kind == "edge":
+            return self._check_edge(atom.extra["edge"], values[0], values[1])
+        if kind == "reaches_phi":
+            return self._check_reaches_phi(values[0], values[1], values[2])
+        if kind == "dominates":
+            return self._check_dominates(atom, values[0], values[1])
+        if kind == "passes_through":
+            return self._check_passes_through(atom, values)
+        if kind == "killed":
+            lists = [[env[v] for v in vl] for vl in atom.varlists]
+            return flow_killed_by(lists[0], lists[1], lists[2],
+                                  self.ctx.analyses.cfg)
+        raise IDLError(f"unknown atom kind {atom.kind!r}")
+
+    def candidates(self, atom: LAtom, var: str, env: dict) -> Iterable[Value]:
+        """Yield candidate values for the single unbound variable ``var``."""
+        position = atom.vars.index(var) if var in atom.vars else -1
+        kind = atom.kind
+        if kind == "opcode" and position == 0:
+            yield from self.ctx.by_opcode.get(atom.extra["opcode"], ())
+            return
+        if kind == "class" and position == 0:
+            cls = atom.extra["cls"]
+            if cls == "instruction":
+                for insts in [self.ctx.by_opcode.get(op, ())
+                              for op in sorted(self.ctx.by_opcode)]:
+                    yield from insts
+                return
+            if cls == "argument":
+                yield from self.ctx.function.args
+                return
+            if cls == "compile_time":
+                yield from self.ctx.globals
+                yield from self._scan(atom, var, env)
+                return
+        if kind == "same" and not atom.extra["negated"]:
+            other = atom.vars[1 - position]
+            yield env[other]
+            return
+        if kind == "argument_of":
+            yield from self._gen_argument_of(atom, position, env)
+            return
+        if kind == "edge":
+            yield from self._gen_edge(atom, position, env)
+            return
+        if kind == "reaches_phi":
+            yield from self._gen_reaches_phi(atom, position, env)
+            return
+        yield from self._scan(atom, var, env)
+
+    # -- checks -----------------------------------------------------------------
+    def _check_argument_of(self, atom: LAtom, child: Value,
+                           parent: Value) -> bool:
+        position = atom.extra["position"]
+        if not isinstance(parent, Instruction):
+            return False
+        if position >= len(parent.operands):
+            return False
+        return values_equal(parent.operands[position], child)
+
+    def _check_edge(self, edge: str, a: Value, b: Value) -> bool:
+        if edge == "data":
+            return has_dataflow_edge(a, b)
+        if edge == "control":
+            if not isinstance(a, Instruction) or not isinstance(b, Instruction):
+                return False
+            return self.ctx.analyses.cfg.has_edge(a, b)
+        if edge == "control_dominance":
+            if not isinstance(a, Instruction) or not isinstance(b, Instruction):
+                return False
+            return self.ctx.analyses.control_dep.depends_on(b, a)
+        if edge == "dependence":
+            if not isinstance(a, Instruction) or not isinstance(b, Instruction):
+                return False
+            return has_dependence_edge(a, b)
+        raise IDLError(f"unknown edge kind {edge!r}")
+
+    def _check_reaches_phi(self, value: Value, phi: Value,
+                           branch: Value) -> bool:
+        if not isinstance(phi, PhiInst) or not isinstance(branch, BranchInst):
+            return False
+        for incoming, block in phi.incoming:
+            if block.terminator is branch and values_equal(incoming, value):
+                return True
+        return False
+
+    def _check_dominates(self, atom: LAtom, a: Value, b: Value) -> bool:
+        if atom.extra["flow"] == "data":
+            raise IDLError("data flow dominance is not implemented")
+        result = self.ctx.dominates(a, b, atom.extra["strict"],
+                                    atom.extra["post"])
+        return (not result) if atom.extra["negated"] else result
+
+    def _check_passes_through(self, atom: LAtom, values: list[Value]) -> bool:
+        source, target, via = values
+        flow = atom.extra.get("flow")
+        if flow == "data":
+            return all_data_flow_passes_through(source, target, via)
+        if flow == "control":
+            if not all(isinstance(v, Instruction) for v in values):
+                return False
+            return self.ctx.analyses.cfg.all_paths_pass_through(
+                source, target, via)
+        # Combined data+control flow: both projections must hold.
+        ok_data = all_data_flow_passes_through(source, target, via)
+        if not all(isinstance(v, Instruction) for v in values):
+            return ok_data
+        return ok_data and self.ctx.analyses.cfg.all_paths_pass_through(
+            source, target, via)
+
+    # -- generators -------------------------------------------------------------
+    def _generator_cost(self, atom: LAtom, var: str, env: dict) -> int:
+        position = atom.vars.index(var) if var in atom.vars else -1
+        kind = atom.kind
+        if kind == "same" and not atom.extra["negated"]:
+            return COST_UNIT
+        if kind == "argument_of":
+            return COST_UNIT if position == 0 and atom.vars[1] in env \
+                else COST_SMALL
+        if kind == "reaches_phi":
+            if atom.vars[1] in env:
+                return COST_SMALL
+            return COST_SCAN
+        if kind == "edge":
+            return COST_SMALL if atom.extra["edge"] in ("data", "control") \
+                else COST_SCAN
+        if kind == "opcode":
+            return COST_OPCODE
+        if kind == "class":
+            cls = atom.extra["cls"]
+            if cls == "argument":
+                return COST_UNIT
+            if cls == "instruction":
+                return COST_CLASS
+            if cls == "constant":
+                return COST_NOT_READY  # constants are not enumerable
+            return COST_SCAN
+        if kind in ("passes_through", "killed"):
+            return COST_NOT_READY
+        if kind == "same":  # negated: check-only, never generates
+            return COST_NOT_READY
+        if kind == "dominates" and atom.extra.get("negated"):
+            return COST_NOT_READY  # negative constraints never generate
+        return COST_SCAN
+
+    def _gen_argument_of(self, atom: LAtom, position: int,
+                         env: dict) -> Iterable[Value]:
+        arg_pos = atom.extra["position"]
+        if position == 0:  # child unbound
+            parent = env[atom.vars[1]]
+            if isinstance(parent, Instruction) and \
+                    arg_pos < len(parent.operands):
+                yield parent.operands[arg_pos]
+            return
+        # Parent unbound: walk the child's use list.
+        child = env[atom.vars[0]]
+        for use in child.uses:
+            if use.index == arg_pos and isinstance(use.user, Instruction):
+                yield use.user
+
+    def _gen_edge(self, atom: LAtom, position: int,
+                  env: dict) -> Iterable[Value]:
+        edge = atom.extra["edge"]
+        if edge == "data":
+            if position == 1:
+                yield from data_users(env[atom.vars[0]])
+            else:
+                yield from data_operands(env[atom.vars[1]])
+            return
+        if edge == "control":
+            cfg = self.ctx.analyses.cfg
+            if position == 1:
+                src = env[atom.vars[0]]
+                if isinstance(src, Instruction):
+                    yield from cfg.successors(src)
+            else:
+                dst = env[atom.vars[1]]
+                if isinstance(dst, Instruction):
+                    yield from cfg.predecessors(dst)
+            return
+        if edge == "control_dominance" and position == 0:
+            dst = env[atom.vars[1]]
+            if isinstance(dst, Instruction):
+                yield from self.ctx.analyses.control_dep.controllers(dst)
+            return
+        yield from self._scan(atom, atom.vars[position], env)
+
+    def _gen_reaches_phi(self, atom: LAtom, position: int,
+                         env: dict) -> Iterable[Value]:
+        phi_var = atom.vars[1]
+        if phi_var in env:
+            phi = env[phi_var]
+            if not isinstance(phi, PhiInst):
+                return
+            for value, block in phi.incoming:
+                branch = block.terminator
+                if branch is None:
+                    continue
+                if position == 0:
+                    if atom.vars[2] not in env or \
+                            env[atom.vars[2]] is branch:
+                        yield value
+                elif position == 2:
+                    if atom.vars[0] not in env or \
+                            values_equal(env[atom.vars[0]], value):
+                        yield branch
+            return
+        yield from self._scan(atom, atom.vars[position], env)
+
+    def _scan(self, atom: LAtom, var: str, env: dict) -> Iterable[Value]:
+        """Last-resort generator: filter the whole function universe."""
+        for value in self.ctx.universe:
+            trial = dict(env)
+            trial[var] = value
+            try:
+                if self.check(atom, trial):
+                    yield value
+            except IDLError:
+                raise

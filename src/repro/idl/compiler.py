@@ -1,0 +1,79 @@
+"""IDL compiler facade: source → registry → lowered constraints → solutions.
+
+This is the user-facing entry point mirroring the paper's Figure 1 pipeline
+(idiom description → constraint formula → solver)::
+
+    from repro.idl import IdiomCompiler
+
+    idl = IdiomCompiler()
+    idl.load('''
+    Constraint FactorizationOpportunity
+    ( {sum} is add instruction and ... )
+    End
+    ''')
+    for match in idl.match(function, "FactorizationOpportunity"):
+        print(match["sum"], match["factor"])
+"""
+
+from __future__ import annotations
+
+from ..analysis.info import FunctionAnalyses
+from ..errors import IDLError
+from ..ir.module import Function, Module
+from .lowering import Lowerer, Registry
+from .natives import standard_natives
+from .parser import parse_idl
+from .solver import Solver
+
+
+class IdiomCompiler:
+    """Holds a constraint registry and compiles/solves idiom descriptions."""
+
+    def __init__(self, load_natives: bool = True):
+        self.registry = Registry()
+        self._lowered_cache: dict[tuple, object] = {}
+        if load_natives:
+            for native in standard_natives():
+                self.registry.add_native(native)
+
+    # -- registry -----------------------------------------------------------------
+    def load(self, source: str, filename: str = "<idl>") -> list[str]:
+        """Parse IDL source and register every specification in it."""
+        specs = parse_idl(source, filename)
+        for spec in specs:
+            self.registry.add_spec(spec)
+        self._lowered_cache.clear()
+        return [spec.name for spec in specs]
+
+    def names(self) -> list[str]:
+        return self.registry.names()
+
+    # -- compilation -----------------------------------------------------------------
+    def compile(self, name: str, params: dict[str, int] | None = None):
+        """Lower a named constraint to its solvable form (cached)."""
+        key = (name, tuple(sorted((params or {}).items())))
+        if key not in self._lowered_cache:
+            lowerer = Lowerer(self.registry)
+            self._lowered_cache[key] = lowerer.lower_spec(name, params)
+        return self._lowered_cache[key]
+
+    # -- solving ---------------------------------------------------------------------
+    def match(self, function: Function, name: str,
+              params: dict[str, int] | None = None,
+              analyses: FunctionAnalyses | None = None,
+              max_solutions: int = 10_000) -> list[dict]:
+        """All matches of the named idiom within one function."""
+        if function.is_declaration():
+            return []
+        lowered = self.compile(name, params)
+        solver = Solver(function, analyses, max_solutions=max_solutions)
+        return solver.solutions(lowered)
+
+    def match_module(self, module: Module, name: str,
+                     params: dict[str, int] | None = None) -> list[tuple]:
+        """All matches across a module: list of (function, solution)."""
+        results = []
+        for function in module.functions.values():
+            for solution in self.match(function, name, params):
+                results.append((function, solution))
+        return results

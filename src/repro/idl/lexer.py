@@ -1,0 +1,86 @@
+"""Tokeniser for the Idiom Description Language (paper Figure 7).
+
+IDL's surface syntax is word-based ("is add instruction and ...") with
+variable references in braces (``{kernel.input[i]}``). The lexer returns
+words, numbers, brace-delimited variable texts and punctuation; the parser
+does all keyword recognition (IDL keywords are context dependent — ``for``
+appears both in quantifiers and in ``forone``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import LexError, SourceLocation
+
+_WORD_RE = re.compile(r"[A-Za-z_]\w*")
+_NUM_RE = re.compile(r"\d+")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'word' | 'number' | 'var' | 'punct' | 'eof'
+    text: str
+    location: SourceLocation
+
+    def __repr__(self) -> str:
+        return f"IDLToken({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str, filename: str = "<idl>") -> list[Token]:
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        loc = SourceLocation(line, i - line_start + 1, filename)
+        if ch == ";":  # comment to end of line
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "{":
+            depth = 1
+            j = i + 1
+            while j < n and depth:
+                if source[j] == "{":
+                    depth += 1
+                elif source[j] == "}":
+                    depth -= 1
+                j += 1
+            if depth:
+                raise LexError("unterminated variable reference", loc)
+            tokens.append(Token("var", source[i + 1:j - 1].strip(), loc))
+            line += source.count("\n", i, j)
+            i = j
+            continue
+        wmatch = _WORD_RE.match(source, i)
+        if wmatch:
+            tokens.append(Token("word", wmatch.group(0), loc))
+            i = wmatch.end()
+            continue
+        nmatch = _NUM_RE.match(source, i)
+        if nmatch:
+            tokens.append(Token("number", nmatch.group(0), loc))
+            i = nmatch.end()
+            continue
+        if source.startswith("..", i):
+            tokens.append(Token("punct", "..", loc))
+            i += 2
+            continue
+        if ch in "()=,+-.":
+            tokens.append(Token("punct", ch, loc))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r} in IDL source", loc)
+    tokens.append(Token("eof", "", SourceLocation(line, 1, filename)))
+    return tokens

@@ -1,0 +1,233 @@
+"""Natively implemented IDL constraints: Concat and KernelFunction.
+
+The paper's idiom library treats these as reusable building blocks
+(Figures 11-14). Concat is pure bookkeeping over variable families;
+KernelFunction is the "well behaved kernel" judgement — a backward-slice
+purity check — which is graph algorithmic rather than relational, so both
+are implemented in Python and registered alongside the IDL-defined
+constraints (the analogue of the paper coupling IDL to compiler-internal
+primitives).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..analysis.dataflow import data_operands
+from ..ir.instructions import (
+    BinaryOperator,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    SelectInst,
+    StoreInst,
+)
+from ..ir.values import Argument, Constant, Value
+from .atoms import COST_NOT_READY, SolveContext, values_equal
+from .lowering import NativeConstraint
+
+COST_CONCAT = 60
+COST_KERNEL = 70
+
+
+def family_length(env: dict, base: str) -> int | None:
+    """Length of a bound family, or None if its collect has not run."""
+    marker = env.get(f"#len:{base}")
+    return marker if isinstance(marker, int) else None
+
+
+def family_values(env: dict, base: str, length: int) -> list[Value]:
+    return [env[f"{base}[{i}]"] for i in range(length)]
+
+
+class ConcatConstraint(NativeConstraint):
+    """``out = in1 ++ [in2]``: appends a single value to a family."""
+
+    name = "Concat"
+    arg_names = ("in1", "in2", "out")
+
+    def cost(self, env: dict, args: dict[str, str],
+             context: SolveContext) -> int:
+        if family_length(env, args["in1"]) is None:
+            return COST_NOT_READY
+        if args["in2"] not in env:
+            return COST_NOT_READY
+        return COST_CONCAT
+
+    def solve(self, env: dict, args: dict[str, str],
+              context: SolveContext) -> Iterator[dict]:
+        length = family_length(env, args["in1"])
+        if length is None or args["in2"] not in env:
+            return
+        out = args["out"]
+        values = family_values(env, args["in1"], length) + [env[args["in2"]]]
+        new_env = dict(env)
+        for i, value in enumerate(values):
+            key = f"{out}[{i}]"
+            if key in env and not values_equal(env[key], value):
+                return
+            new_env[key] = value
+        new_env[f"#len:{out}"] = len(values)
+        yield new_env
+
+
+class KernelFunctionConstraint(NativeConstraint):
+    """The paper's "well behaved kernel function" judgement.
+
+    Given a loop region (``outer`` = first instruction of the loop header,
+    ``inner`` = first instruction of the loop body) and declared ``input``
+    values, checks that ``output`` is computed by a pure data-flow slice:
+
+    * slice instructions are arithmetic/casts/selects/comparisons or pure
+      intrinsic calls — no loads, stores or impure calls (any memory read
+      must be one of the declared inputs);
+    * phis are allowed only for control flow *inside* the body (conditional
+      kernels); loop-header phis must be declared inputs;
+    * conditions of all conditional branches inside the body join the slice
+      (the "well behaved condition" guarantee for conditional histograms).
+    """
+
+    name = "KernelFunction"
+    arg_names = ("input", "output", "outer", "inner")
+    #: May the kernel read loop induction variables implicitly? True for
+    #: reduction/stencil value kernels (a parallel mapping knows its own
+    #: index); False for histogram *index* kernels, where an
+    #: induction-derived index means the access is injective — a plain
+    #: parallel update, not a histogram (see DataKernelFunction).
+    allow_induction = True
+
+    def cost(self, env: dict, args: dict[str, str],
+             context: SolveContext) -> int:
+        if family_length(env, args["input"]) is None:
+            return COST_NOT_READY
+        for key in ("output", "outer", "inner"):
+            if args[key] not in env:
+                return COST_NOT_READY
+        return COST_KERNEL
+
+    def solve(self, env: dict, args: dict[str, str],
+              context: SolveContext) -> Iterator[dict]:
+        length = family_length(env, args["input"])
+        if length is None:
+            return
+        inputs = family_values(env, args["input"], length)
+        output = env.get(args["output"])
+        outer = env.get(args["outer"])
+        inner = env.get(args["inner"])
+        if output is None or not isinstance(outer, Instruction) or \
+                not isinstance(inner, Instruction):
+            return
+        if self.kernel_is_well_behaved(context, inputs, output, outer, inner,
+                                       self.allow_induction):
+            yield env
+
+    # -- the slice check (also used by the transformer) ------------------------
+    @staticmethod
+    def kernel_is_well_behaved(context: SolveContext, inputs: list[Value],
+                               output: Value, outer: Instruction,
+                               inner: Instruction,
+                               allow_induction: bool = True) -> bool:
+        dom = context.analyses.dom
+        input_ids = {id(v) for v in inputs}
+
+        roots: list[Value] = [output]
+        # Conditions guarding anything in the body must be kernel-pure too.
+        for branch in context.by_opcode.get("br", ()):
+            if isinstance(branch, BranchInst) and branch.is_conditional() \
+                    and dom.dominates(inner, branch):
+                roots.append(branch.condition)
+
+        seen: set[int] = set()
+        stack = list(roots)
+        while stack:
+            value = stack.pop()
+            if id(value) in seen or id(value) in input_ids:
+                continue
+            seen.add(id(value))
+            if isinstance(value, (Constant, Argument)):
+                continue
+            if not isinstance(value, Instruction):
+                return False
+            if not dom.dominates(outer, value):
+                continue  # loop invariant: an implicit kernel parameter
+            if isinstance(value, PhiInst):
+                if dom.dominates(inner, value):
+                    if not allow_induction and \
+                            _is_canonical_induction(value):
+                        # A nested loop's iterator: induction-derived after
+                        # all, so a data-only kernel must reject it.
+                        return False
+                    # Body phi: conditional kernel control flow — allowed.
+                    stack.extend(data_operands(value))
+                    continue
+                if allow_induction and _is_canonical_induction(value):
+                    # Loop iterators are implicitly kernel-computable
+                    # (a parallel mapping knows its own index).
+                    continue
+                # Other header phis (accumulators) must be declared inputs.
+                return False
+            if isinstance(value, CallInst):
+                if not value.is_pure():
+                    return False
+                stack.extend(value.operands)
+                continue
+            if isinstance(value, (BinaryOperator, CastInst, SelectInst,
+                                  ICmpInst, FCmpInst)):
+                stack.extend(value.operands)
+                continue
+            if isinstance(value, (LoadInst, StoreInst, GEPInst)):
+                return False  # memory traffic must be declared as inputs
+            return False  # branches, allocas, rets... are never kernel code
+        return True
+
+
+class DataKernelFunctionConstraint(KernelFunctionConstraint):
+    """KernelFunction whose output must derive from *data*, not inductions.
+
+    Used for the histogram index kernel: if the bin index is a function of
+    induction variables alone, accesses are injective and the loop is an
+    ordinary parallel update — not a histogram reduction.
+    """
+
+    name = "DataKernelFunction"
+    allow_induction = False
+
+
+def _is_canonical_induction(phi: PhiInst) -> bool:
+    """A phi incremented by an add of itself with an invariant step.
+
+    The step must be a constant/argument or an instruction that dominates
+    the phi — excluding interdependent accumulators (``b += a`` where ``a``
+    itself varies per iteration), which are not implicitly computable.
+    """
+    for value, _ in phi.incoming:
+        if isinstance(value, BinaryOperator) and value.opcode == "add":
+            step = None
+            if value.lhs is phi:
+                step = value.rhs
+            elif value.rhs is phi:
+                step = value.lhs
+            if step is None:
+                continue
+            if isinstance(step, (Constant, Argument)):
+                return True
+            if isinstance(step, Instruction) and step.parent is not None \
+                    and phi.parent is not None:
+                from ..analysis.dominators import DominatorTree
+
+                tree = DominatorTree.block_level(phi.parent.parent)
+                if tree.dominates(step.parent, phi.parent) and \
+                        step.parent is not phi.parent:
+                    return True
+    return False
+
+
+def standard_natives() -> list[NativeConstraint]:
+    return [ConcatConstraint(), KernelFunctionConstraint(),
+            DataKernelFunctionConstraint()]

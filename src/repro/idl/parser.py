@@ -1,0 +1,521 @@
+"""Recursive-descent parser for IDL (grammar: paper Figure 7).
+
+Extensions over the paper's BNF, documented in DESIGN.md:
+
+* the opcode list includes ``phi``, ``fcmp``, ``sdiv``, ``srem``, ``sext``,
+  ``zext``, ``sitofp``, ``trunc`` and ``call`` (the paper's list is
+  abridged "to reduce the size of the language" but its own Figure 5 binds
+  variables to ``sext`` results);
+* ``is integer constant one`` complements ``constant zero`` (needed by
+  ReadRange's ``rowstr[j+1]`` bound);
+* ``post dominates`` forms appear in the grammar (used by the paper's own
+  Figure 9 SESE definition but missing from its BNF);
+* ``collect`` takes an optional solution limit (defaults to 16).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from .ast import (
+    Atom,
+    BinCalc,
+    Calculation,
+    Collect,
+    Conjunction,
+    Disjunction,
+    ForAll,
+    ForOne,
+    ForSome,
+    If,
+    Inheritance,
+    Num,
+    Rename,
+    Specification,
+    Sym,
+    VarComponent,
+    VarRef,
+)
+from .lexer import Token, tokenize
+
+#: IDL opcode word -> IR opcode.
+OPCODE_WORDS = {
+    "store": "store", "load": "load", "return": "ret", "branch": "br",
+    "add": "add", "sub": "sub", "mul": "mul", "sdiv": "sdiv", "srem": "srem",
+    "fadd": "fadd", "fsub": "fsub", "fmul": "fmul", "fdiv": "fdiv",
+    "select": "select", "gep": "gep", "icmp": "icmp", "fcmp": "fcmp",
+    "phi": "phi", "sext": "sext", "zext": "zext", "sitofp": "sitofp",
+    "trunc": "trunc", "call": "call", "alloca": "alloca",
+}
+
+_ARG_POSITIONS = {"first": 0, "second": 1, "third": 2, "fourth": 3}
+
+_CALC_TOKEN_RE = re.compile(r"\s*([A-Za-z_]\w*|\d+|[+\-])")
+
+
+def parse_calc_text(text: str) -> Calculation:
+    """Parse a calculation from raw text (used inside variable brackets)."""
+    tokens = _CALC_TOKEN_RE.findall(text)
+    if "".join(tokens).replace(" ", "") != text.replace(" ", ""):
+        raise ParseError(f"malformed calculation {text!r}")
+    if not tokens:
+        raise ParseError("empty calculation")
+    pos = 0
+
+    def term() -> Calculation:
+        nonlocal pos
+        tok = tokens[pos]
+        pos += 1
+        if tok.isdigit():
+            return Num(int(tok))
+        if tok in "+-":
+            raise ParseError(f"unexpected {tok!r} in calculation {text!r}")
+        return Sym(tok)
+
+    calc = term()
+    while pos < len(tokens):
+        op = tokens[pos]
+        if op not in "+-":
+            raise ParseError(f"expected + or - in calculation {text!r}")
+        pos += 1
+        calc = BinCalc(op, calc, term())
+    return calc
+
+
+def parse_var_text(text: str) -> VarRef:
+    """Parse the inside of a ``{...}`` reference into a VarRef."""
+    components: list[VarComponent] = []
+    for part in _split_dots(text):
+        match = re.fullmatch(r"([A-Za-z_#]\w*)(?:\[([^\[\]]*)\])?", part.strip())
+        if not match:
+            raise ParseError(f"malformed variable component {part!r}")
+        name, idx_text = match.group(1), match.group(2)
+        if idx_text is None:
+            components.append(VarComponent(name))
+        elif ".." in idx_text:
+            lo, hi = idx_text.split("..", 1)
+            components.append(VarComponent(
+                name, parse_calc_text(lo), parse_calc_text(hi)))
+        else:
+            components.append(VarComponent(name, parse_calc_text(idx_text)))
+    if not components:
+        raise ParseError(f"empty variable reference {text!r}")
+    return VarRef(tuple(components))
+
+
+def parse_varlist_text(text: str) -> list[VarRef]:
+    """Parse a ``{a, b[0..3], c}`` variable list."""
+    return [parse_var_text(part) for part in text.split(",") if part.strip()]
+
+
+def _split_dots(text: str) -> list[str]:
+    """Split on dots outside brackets."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "." and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+class IDLParser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- plumbing ---------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept_word(self, word: str) -> bool:
+        if self.current.kind == "word" and self.current.text == word:
+            self.advance()
+            return True
+        return False
+
+    def expect_word(self, word: str) -> None:
+        if not self.accept_word(word):
+            raise ParseError(f"expected {word!r}, got {self.current.text!r}",
+                             self.current.location)
+
+    def expect_words(self, *words: str) -> None:
+        for word in words:
+            self.expect_word(word)
+
+    def expect_punct(self, punct: str) -> None:
+        if self.current.kind == "punct" and self.current.text == punct:
+            self.advance()
+            return
+        raise ParseError(f"expected {punct!r}, got {self.current.text!r}",
+                         self.current.location)
+
+    def accept_punct(self, punct: str) -> bool:
+        if self.current.kind == "punct" and self.current.text == punct:
+            self.advance()
+            return True
+        return False
+
+    def expect_var(self) -> VarRef:
+        if self.current.kind != "var":
+            raise ParseError(
+                f"expected variable reference, got {self.current.text!r}",
+                self.current.location)
+        return parse_var_text(self.advance().text)
+
+    def expect_varlist(self) -> list[VarRef]:
+        if self.current.kind != "var":
+            raise ParseError(
+                f"expected variable list, got {self.current.text!r}",
+                self.current.location)
+        return parse_varlist_text(self.advance().text)
+
+    def expect_name(self) -> str:
+        if self.current.kind != "word":
+            raise ParseError(f"expected name, got {self.current.text!r}",
+                             self.current.location)
+        return self.advance().text
+
+    def parse_calc(self) -> Calculation:
+        tok = self.current
+        if tok.kind == "number":
+            self.advance()
+            calc: Calculation = Num(int(tok.text))
+        elif tok.kind == "word":
+            self.advance()
+            calc = Sym(tok.text)
+        else:
+            raise ParseError(f"expected calculation, got {tok.text!r}",
+                             tok.location)
+        while self.current.kind == "punct" and self.current.text in "+-":
+            op = self.advance().text
+            nxt = self.current
+            if nxt.kind == "number":
+                self.advance()
+                rhs: Calculation = Num(int(nxt.text))
+            elif nxt.kind == "word":
+                self.advance()
+                rhs = Sym(nxt.text)
+            else:
+                raise ParseError("expected symbol or number after "
+                                 f"{op!r}", nxt.location)
+            calc = BinCalc(op, calc, rhs)
+        return calc
+
+    # -- top level -----------------------------------------------------------------
+    def parse_program(self) -> list[Specification]:
+        specs: list[Specification] = []
+        while self.current.kind != "eof":
+            self.expect_word("Constraint")
+            name = self.expect_name()
+            constraint = self.parse_constraint()
+            self.expect_word("End")
+            specs.append(Specification(name, constraint))
+        return specs
+
+    # -- constraints ------------------------------------------------------------------
+    def parse_constraint(self):
+        node = self.parse_primary()
+        node = self.parse_suffixes(node)
+        return node
+
+    def parse_suffixes(self, node):
+        """Postfix quantifiers (for all / for some / for) and with/at."""
+        while True:
+            if self.current.kind == "word" and self.current.text == "for":
+                self.advance()
+                if self.accept_word("all"):
+                    index = self.expect_name()
+                    self.expect_punct("=")
+                    lo = self.parse_calc()
+                    self.expect_punct("..")
+                    hi = self.parse_calc()
+                    node = ForAll(node, index, lo, hi)
+                elif self.accept_word("some"):
+                    index = self.expect_name()
+                    self.expect_punct("=")
+                    lo = self.parse_calc()
+                    self.expect_punct("..")
+                    hi = self.parse_calc()
+                    node = ForSome(node, index, lo, hi)
+                else:
+                    name = self.expect_name()
+                    self.expect_punct("=")
+                    node = ForOne(node, name, self.parse_calc())
+                continue
+            if self.current.kind == "word" and self.current.text in ("with", "at"):
+                renames, base = self.parse_with_at()
+                if isinstance(node, Inheritance) and not node.renames and \
+                        node.base is None:
+                    node.renames = renames
+                    node.base = base
+                else:
+                    node = Rename(node, renames, base)
+                continue
+            return node
+
+    def parse_with_at(self):
+        """Parse ``with {outer} as {inner} and ... at {base}``."""
+        renames: list[tuple[VarRef, VarRef]] = []
+        base: VarRef | None = None
+        if self.accept_word("with"):
+            while True:
+                outer = self.expect_var()
+                self.expect_word("as")
+                inner = self.expect_var()
+                renames.append((outer, inner))
+                # 'and {v} as' continues the with-list; anything else ends it.
+                if self.current.kind == "word" and self.current.text == "and" \
+                        and self.peek().kind == "var" \
+                        and self.peek(2).kind == "word" \
+                        and self.peek(2).text == "as":
+                    self.advance()
+                    continue
+                break
+        if self.accept_word("at"):
+            base = self.expect_var()
+        return renames, base
+
+    def parse_primary(self):
+        tok = self.current
+        if tok.kind == "punct" and tok.text == "(":
+            return self.parse_grouping()
+        if tok.kind == "word":
+            if tok.text == "inherits":
+                return self.parse_inheritance()
+            if tok.text == "collect":
+                return self.parse_collect()
+            if tok.text == "if":
+                return self.parse_if()
+            if tok.text == "all":
+                return self.parse_all_atom()
+        if tok.kind == "var":
+            return self.parse_var_atom()
+        raise ParseError(f"unexpected token {tok.text!r} in constraint",
+                         tok.location)
+
+    def parse_grouping(self):
+        self.expect_punct("(")
+        first = self.parse_constraint()
+        if self.accept_punct(")"):
+            return first
+        children = [first]
+        if self.current.kind == "word" and self.current.text == "and":
+            while self.accept_word("and"):
+                children.append(self.parse_constraint())
+            self.expect_punct(")")
+            return Conjunction(children)
+        if self.current.kind == "word" and self.current.text == "or":
+            while self.accept_word("or"):
+                children.append(self.parse_constraint())
+            self.expect_punct(")")
+            return Disjunction(children)
+        raise ParseError(f"expected 'and', 'or' or ')', got "
+                         f"{self.current.text!r}", self.current.location)
+
+    def parse_inheritance(self) -> Inheritance:
+        self.expect_word("inherits")
+        name = self.expect_name()
+        params: dict[str, Calculation] = {}
+        if self.accept_punct("("):
+            while True:
+                pname = self.expect_name()
+                self.expect_punct("=")
+                params[pname] = self.parse_calc()
+                if not self.accept_punct(","):
+                    break
+            self.expect_punct(")")
+        return Inheritance(name, params)
+
+    def parse_collect(self) -> Collect:
+        self.expect_word("collect")
+        index = self.expect_name()
+        limit = 16
+        if self.current.kind == "number":
+            limit = int(self.advance().text)
+        constraint = self.parse_constraint()
+        return Collect(index, limit, constraint)
+
+    def parse_if(self) -> If:
+        self.expect_word("if")
+        lhs = self.parse_calc()
+        self.expect_punct("=")
+        rhs = self.parse_calc()
+        self.expect_word("then")
+        then = self.parse_constraint()
+        self.expect_word("else")
+        otherwise = self.parse_constraint()
+        self.expect_word("endif")
+        return If(lhs, rhs, then, otherwise)
+
+    # -- atomic constraints ---------------------------------------------------------
+    def parse_all_atom(self) -> Atom:
+        self.expect_word("all")
+        flow: str | None = None
+        if self.accept_word("data"):
+            flow = "data"
+        elif self.accept_word("control"):
+            flow = "control"
+        self.expect_word("flow")
+        self.expect_word("from")
+        if self.current.kind != "var":
+            raise ParseError("expected variable after 'from'",
+                             self.current.location)
+        source_list = self.expect_varlist()
+        self.expect_word("to")
+        sink_list = self.expect_varlist()
+        if self.current.kind == "word" and self.current.text == "passes":
+            self.expect_words("passes", "through")
+            via = self.expect_var()
+            if len(source_list) != 1 or len(sink_list) != 1:
+                raise ParseError("'passes through' takes single variables")
+            return Atom("passes_through", [source_list[0], sink_list[0], via],
+                        {"flow": flow})
+        self.expect_words("is", "killed", "by")
+        kills = self.expect_varlist()
+        if flow is not None:
+            raise ParseError("'is killed by' uses combined flow only")
+        return Atom("killed", [], {}, [source_list, sink_list, kills])
+
+    def parse_var_atom(self) -> Atom:
+        var = self.expect_var()
+        tok = self.current
+        if tok.kind != "word":
+            raise ParseError(f"expected predicate after variable, got "
+                             f"{tok.text!r}", tok.location)
+        if tok.text == "is":
+            return self.parse_is_atom(var)
+        if tok.text == "has":
+            return self.parse_has_atom(var)
+        if tok.text == "reaches":
+            self.advance()
+            self.expect_words("phi", "node")
+            phi = self.expect_var()
+            self.expect_word("from")
+            branch = self.expect_var()
+            return Atom("reaches_phi", [var, phi, branch])
+        return self.parse_dominates_atom(var)
+
+    def parse_is_atom(self, var: VarRef) -> Atom:
+        self.expect_word("is")
+        tok = self.current
+        if tok.text == "not":
+            self.advance()
+            self.expect_words("the", "same", "as")
+            other = self.expect_var()
+            return Atom("same", [var, other], {"negated": True})
+        if tok.text == "the":
+            self.advance()
+            self.expect_words("same", "as")
+            other = self.expect_var()
+            return Atom("same", [var, other], {"negated": False})
+        if tok.text in _ARG_POSITIONS:
+            position = _ARG_POSITIONS[tok.text]
+            self.advance()
+            self.expect_words("argument", "of")
+            other = self.expect_var()
+            return Atom("argument_of", [var, other], {"position": position})
+        if tok.text in ("integer", "float", "pointer"):
+            self.advance()
+            const: str | None = None
+            if self.accept_word("constant"):
+                if self.accept_word("zero"):
+                    const = "zero"
+                elif self.accept_word("one"):
+                    const = "one"
+                else:
+                    raise ParseError("expected 'zero' or 'one'",
+                                     self.current.location)
+            return Atom("type", [var], {"type": tok.text, "const": const})
+        if tok.text == "unused":
+            self.advance()
+            return Atom("class", [var], {"cls": "unused"})
+        if tok.text in ("a", "an"):
+            self.advance()
+            word = self.expect_name()
+            if word == "constant":
+                return Atom("class", [var], {"cls": "constant"})
+            if word == "compile":
+                self.expect_words("time", "value")
+                return Atom("class", [var], {"cls": "compile_time"})
+            if word == "argument":
+                return Atom("class", [var], {"cls": "argument"})
+            if word == "instruction":
+                return Atom("class", [var], {"cls": "instruction"})
+            raise ParseError(f"unknown classification {word!r}", tok.location)
+        if tok.text in OPCODE_WORDS:
+            self.advance()
+            self.expect_word("instruction")
+            return Atom("opcode", [var], {"opcode": OPCODE_WORDS[tok.text]})
+        raise ParseError(f"unknown 'is' predicate {tok.text!r}", tok.location)
+
+    def parse_has_atom(self, var: VarRef) -> Atom:
+        self.expect_word("has")
+        tok = self.current
+        if tok.text == "data":
+            self.advance()
+            self.expect_words("flow", "to")
+            return Atom("edge", [var, self.expect_var()], {"edge": "data"})
+        if tok.text == "control":
+            self.advance()
+            if self.accept_word("flow"):
+                self.expect_word("to")
+                return Atom("edge", [var, self.expect_var()],
+                            {"edge": "control"})
+            self.expect_words("dominance", "to")
+            return Atom("edge", [var, self.expect_var()],
+                        {"edge": "control_dominance"})
+        if tok.text == "dependence":
+            self.advance()
+            self.expect_words("edge", "to")
+            return Atom("edge", [var, self.expect_var()],
+                        {"edge": "dependence"})
+        raise ParseError(f"unknown 'has' predicate {tok.text!r}", tok.location)
+
+    def parse_dominates_atom(self, var: VarRef) -> Atom:
+        negated = False
+        strict = False
+        flow = "control"
+        post = False
+        if self.accept_word("does"):
+            self.expect_word("not")
+            negated = True
+        if self.accept_word("strictly"):
+            strict = True
+        if self.accept_word("data"):
+            self.expect_word("flow")
+            flow = "data"
+        elif self.accept_word("control"):
+            self.expect_word("flow")
+            flow = "control"
+        if self.accept_word("post"):
+            post = True
+        if not (self.accept_word("dominates") or self.accept_word("dominate")):
+            raise ParseError(f"expected 'dominates', got "
+                             f"{self.current.text!r}", self.current.location)
+        other = self.expect_var()
+        return Atom("dominates", [var, other],
+                    {"negated": negated, "strict": strict, "flow": flow,
+                     "post": post})
+
+
+def parse_idl(source: str, filename: str = "<idl>") -> list[Specification]:
+    """Parse IDL source text into specifications."""
+    return IDLParser(tokenize(source, filename)).parse_program()

@@ -1,0 +1,222 @@
+"""Backtracking constraint solver over LLVM-like IR.
+
+Architecture follows the paper (§2.1, §4.4) and its CGO'17 predecessor:
+the lowered constraint tree (conjunctions, disjunctions, atoms, collects,
+natives) is searched by standard backtracking; at every step the solver
+executes the *cheapest ready* conjunct — pure checks first, then
+single-candidate generators, then indexed generators, then scans — which
+is the dynamic equivalent of the paper's static variable ordering. All
+solutions are enumerated and deduplicated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..analysis.info import FunctionAnalyses
+from ..errors import IDLError
+from ..ir.module import Function
+from .atoms import COST_NOT_READY, AtomEngine, SolveContext, value_key
+from .lowering import LAnd, LAtom, LCollect, LNative, LOr
+
+#: Cost rank for a ready collect (late: after its outer variables bind).
+COST_COLLECT = 80
+
+#: Disjunctions defer past plain generators: entering an Or-branch commits
+#: to solving it as a unit, so it should start only after the surrounding
+#: conjunction has bound the context variables the branch checks against.
+COST_OR_DEFER = 25
+
+
+class SearchBudget:
+    """Guards against pathological search explosion."""
+
+    def __init__(self, max_steps: int = 5_000_000):
+        self.max_steps = max_steps
+        self.steps = 0
+
+    def tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise IDLError(
+                f"constraint search exceeded {self.max_steps} steps")
+
+
+def _is_negative_atom(node) -> bool:
+    return isinstance(node, LAtom) and node.extra.get("negated", False)
+
+
+class Solver:
+    """Enumerates all solutions of a lowered constraint over one function."""
+
+    def __init__(self, function: Function,
+                 analyses: FunctionAnalyses | None = None,
+                 max_solutions: int = 10_000,
+                 max_steps: int = 5_000_000):
+        self.context = SolveContext(function, analyses)
+        self.engine = AtomEngine(self.context)
+        self.max_solutions = max_solutions
+        self.budget = SearchBudget(max_steps)
+        #: Search paths abandoned because no generator was available.
+        self.stuck_branches = 0
+
+    # -- public API ---------------------------------------------------------------
+    def solutions(self, lowered) -> list[dict]:
+        """All distinct solutions, as dicts of variable name → IR value."""
+        results: list[dict] = []
+        seen: set = set()
+        names = sorted(lowered.free_vars())
+        for env in self._solve(lowered, {}):
+            clean = {k: v for k, v in env.items() if not k.startswith("#")}
+            key = tuple((k, value_key(v)) for k, v in sorted(clean.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            results.append(clean)
+            if len(results) >= self.max_solutions:
+                break
+        return results
+
+    def first(self, lowered) -> dict | None:
+        for env in self._solve(lowered, {}):
+            return {k: v for k, v in env.items() if not k.startswith("#")}
+        return None
+
+    # -- node dispatch ---------------------------------------------------------------
+    def _solve(self, node, env: dict) -> Iterator[dict]:
+        if isinstance(node, LAtom):
+            yield from self._solve_atom(node, env)
+        elif isinstance(node, LAnd):
+            yield from self._solve_and(list(node.children), env)
+        elif isinstance(node, LOr):
+            for child in node.children:
+                yield from self._solve(child, env)
+        elif isinstance(node, LNative):
+            yield from node.impl.solve(env, node.args, self.context)
+        elif isinstance(node, LCollect):
+            yield from self._solve_collect(node, env)
+        else:
+            raise IDLError(f"unknown lowered node {type(node).__name__}")
+
+    def _solve_atom(self, atom: LAtom, env: dict) -> Iterator[dict]:
+        self.budget.tick()
+        unbound = [v for v in atom.free_vars() if v not in env]
+        if not unbound:
+            if self.engine.check(atom, env):
+                yield env
+            return
+        if len(unbound) == 1:
+            var = unbound[0]
+            for candidate in self.engine.candidates(atom, var, env):
+                self.budget.tick()
+                trial = dict(env)
+                trial[var] = candidate
+                if self.engine.check(atom, trial):
+                    yield trial
+            return
+        # Multi-binding: 'reaches phi node' with the phi bound can bind both
+        # the incoming value and the branch in one step.
+        if atom.kind == "reaches_phi" and atom.vars[1] in env:
+            phi = env[atom.vars[1]]
+            from ..ir.instructions import PhiInst
+
+            if not isinstance(phi, PhiInst):
+                return
+            for value, block in phi.incoming:
+                branch = block.terminator
+                if branch is None:
+                    continue
+                self.budget.tick()
+                trial = dict(env)
+                trial[atom.vars[0]] = value
+                trial[atom.vars[2]] = branch
+                if self.engine.check(atom, trial):
+                    yield trial
+            return
+        raise IDLError(
+            f"atom {atom.kind} reached with {len(unbound)} unbound "
+            f"variables: {unbound}")
+
+    def _solve_and(self, children: list, env: dict) -> Iterator[dict]:
+        if not children:
+            yield env
+            return
+        best_index, best_cost = -1, COST_NOT_READY + 1
+        for i, child in enumerate(children):
+            cost = self._cost(child, env)
+            if cost < best_cost:
+                best_index, best_cost = i, cost
+                if cost == 0:
+                    break
+        if best_cost >= COST_NOT_READY:
+            # No remaining conjunct can run: variables it needs can no
+            # longer be bound on this search path (e.g. a negative atom
+            # over reads[0] of an empty collect, or an Or-branch entered
+            # without its outer context). The branch fails; a counter is
+            # kept so tests can flag library-level ordering bugs.
+            self.stuck_branches += 1
+            return
+        chosen = children[best_index]
+        rest = children[:best_index] + children[best_index + 1:]
+        for extended in self._solve(chosen, env):
+            yield from self._solve_and(rest, extended)
+
+    def _cost(self, node, env: dict) -> int:
+        if isinstance(node, LAtom):
+            return self.engine.cost(node, env)
+        if isinstance(node, LAnd):
+            if not node.children:
+                return 0
+            return min(self._cost(c, env) for c in node.children)
+        if isinstance(node, LOr):
+            if not node.children:
+                return 0
+            worst = max(self._cost(c, env) for c in node.children)
+            if worst >= COST_NOT_READY:
+                return COST_NOT_READY
+            return min(worst + COST_OR_DEFER, COST_NOT_READY - 1)
+        if isinstance(node, LNative):
+            return node.impl.cost(env, node.args, self.context)
+        if isinstance(node, LCollect):
+            ready = all(v in env for v in node.free_vars())
+            return COST_COLLECT if ready else COST_NOT_READY
+        raise IDLError(f"unknown lowered node {type(node).__name__}")
+
+    def _solve_collect(self, node: LCollect, env: dict) -> Iterator[dict]:
+        """Enumerate all body solutions; bind indexed families.
+
+        Per the paper: collect "capture[s] all possible solutions of a given
+        constraint" — a logical ∀, so it never backtracks into alternative
+        subsets: there is exactly one extension (possibly with zero
+        instances found).
+        """
+        indexed = sorted(node.indexed_vars())
+        solutions: list[dict] = []
+        seen: set = set()
+        for sol in self._solve(node.instance, env):
+            key = tuple(value_key(sol[name]) for name in indexed
+                        if name in sol)
+            if key in seen:
+                continue
+            seen.add(key)
+            solutions.append(sol)
+            if len(solutions) >= node.limit:
+                break
+        new_env = dict(env)
+        bases: set[str] = set()
+        for j, sol in enumerate(solutions):
+            mapping = node.index_names[j]
+            for name0 in indexed:
+                if name0 not in sol:
+                    continue
+                target = mapping.get(name0, name0)
+                if target in new_env and \
+                        value_key(new_env[target]) != value_key(sol[name0]):
+                    return  # inconsistent with an earlier binding
+                new_env[target] = sol[name0]
+        for name0 in indexed:
+            base = name0[:name0.find("[")] if "[" in name0 else name0
+            bases.add(base)
+        for base in bases:
+            new_env[f"#len:{base}"] = len(solutions)
+        yield new_env

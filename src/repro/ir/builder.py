@@ -1,0 +1,181 @@
+"""IRBuilder: convenience layer for constructing instructions in order.
+
+Mirrors llvm::IRBuilder — keeps an insertion point and exposes one method
+per instruction kind, auto-assigning names from the parent function.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import IRError
+from .instructions import (
+    AllocaInst,
+    BinaryOperator,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+from .types import FloatType, IntType, IRType
+from .values import Value
+
+
+class IRBuilder:
+    """Builds instructions at the end of a block (or before an instruction)."""
+
+    def __init__(self, block=None):
+        self.block = block
+        self.before: Instruction | None = None
+
+    def position_at_end(self, block) -> None:
+        self.block = block
+        self.before = None
+
+    def position_before(self, inst: Instruction) -> None:
+        self.block = inst.parent
+        self.before = inst
+
+    def insert(self, inst: Instruction, name: str = "") -> Instruction:
+        if self.block is None:
+            raise IRError("builder has no insertion block")
+        if not inst.type.is_void() and not inst.name:
+            inst.name = self.block.parent.unique_name(name or "t")
+        if self.before is None:
+            self.block.append(inst)
+        else:
+            self.block.insert(self.before.index_in_block(), inst)
+        return inst
+
+    # -- arithmetic ------------------------------------------------------------
+    def binop(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.insert(BinaryOperator(opcode, lhs, rhs), name)
+
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("sdiv", lhs, rhs, name)
+
+    def srem(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("srem", lhs, rhs, name)
+
+    def fadd(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("fadd", lhs, rhs, name)
+
+    def fsub(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("fsub", lhs, rhs, name)
+
+    def fmul(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("fmul", lhs, rhs, name)
+
+    def fdiv(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binop("fdiv", lhs, rhs, name)
+
+    # -- comparisons ------------------------------------------------------------
+    def icmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.insert(ICmpInst(pred, lhs, rhs), name or "cmp")
+
+    def fcmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.insert(FCmpInst(pred, lhs, rhs), name or "fcmp")
+
+    # -- memory -----------------------------------------------------------------
+    def alloca(self, ty: IRType, name: str = "") -> Value:
+        return self.insert(AllocaInst(ty), name or "slot")
+
+    def load(self, pointer: Value, name: str = "") -> Value:
+        return self.insert(LoadInst(pointer), name or "ld")
+
+    def store(self, value: Value, pointer: Value) -> Instruction:
+        return self.insert(StoreInst(value, pointer))
+
+    def gep(self, pointer: Value, indices: Sequence[Value], name: str = "") -> Value:
+        return self.insert(GEPInst(pointer, indices), name or "addr")
+
+    # -- control flow -------------------------------------------------------------
+    def br(self, target) -> Instruction:
+        return self.insert(BranchInst(target))
+
+    def cond_br(self, cond: Value, then_block, else_block) -> Instruction:
+        return self.insert(BranchInst(cond, then_block, else_block))
+
+    def ret(self, value: Value | None = None) -> Instruction:
+        return self.insert(RetInst(value))
+
+    def unreachable(self) -> Instruction:
+        return self.insert(UnreachableInst())
+
+    def phi(self, ty: IRType, name: str = "") -> PhiInst:
+        phi = PhiInst(ty)
+        block = self.block
+        if block is None:
+            raise IRError("builder has no insertion block")
+        if not phi.name:
+            phi.name = block.parent.unique_name(name or "phi")
+        # Phis always go to the start of the block, after existing phis.
+        index = len(block.phis())
+        block.insert(index, phi)
+        return phi
+
+    # -- misc ----------------------------------------------------------------------
+    def select(self, cond: Value, tval: Value, fval: Value, name: str = "") -> Value:
+        return self.insert(SelectInst(cond, tval, fval), name or "sel")
+
+    def cast(self, opcode: str, value: Value, dest: IRType, name: str = "") -> Value:
+        return self.insert(CastInst(opcode, value, dest), name or "cast")
+
+    def sext(self, value: Value, dest: IRType, name: str = "") -> Value:
+        return self.cast("sext", value, dest, name)
+
+    def zext(self, value: Value, dest: IRType, name: str = "") -> Value:
+        return self.cast("zext", value, dest, name)
+
+    def trunc(self, value: Value, dest: IRType, name: str = "") -> Value:
+        return self.cast("trunc", value, dest, name)
+
+    def sitofp(self, value: Value, dest: IRType, name: str = "") -> Value:
+        return self.cast("sitofp", value, dest, name)
+
+    def fptosi(self, value: Value, dest: IRType, name: str = "") -> Value:
+        return self.cast("fptosi", value, dest, name)
+
+    def call(self, callee: str, args: Sequence[Value], ret: IRType,
+             name: str = "") -> Value:
+        return self.insert(CallInst(callee, args, ret), name or "call")
+
+    # -- automatic numeric conversion (used by the C front end) --------------------
+    def coerce(self, value: Value, dest: IRType, name: str = "") -> Value:
+        """Insert whatever cast converts ``value`` to ``dest`` (or no-op)."""
+        src = value.type
+        if src is dest:
+            return value
+        if isinstance(src, IntType) and isinstance(dest, IntType):
+            if src.bits < dest.bits:
+                op = "zext" if src.bits == 1 else "sext"
+                return self.cast(op, value, dest, name)
+            return self.trunc(value, dest, name)
+        if isinstance(src, IntType) and isinstance(dest, FloatType):
+            return self.sitofp(value, dest, name)
+        if isinstance(src, FloatType) and isinstance(dest, IntType):
+            return self.fptosi(value, dest, name)
+        if isinstance(src, FloatType) and isinstance(dest, FloatType):
+            op = "fpext" if src.bits < dest.bits else "fptrunc"
+            return self.cast(op, value, dest, name)
+        if src.is_pointer() and dest.is_pointer():
+            return self.cast("bitcast", value, dest, name)
+        raise IRError(f"cannot coerce {src} to {dest}")

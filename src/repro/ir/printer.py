@@ -1,0 +1,112 @@
+"""Textual form of the IR (LLVM-flavoured) — inverse of :mod:`.parser`.
+
+The format is deliberately close to LLVM assembly so examples from the
+paper (e.g. Figure 3/4) read naturally, but simplified where LLVM carries
+historical baggage (GEPs name only the pointer operand's type).
+"""
+
+from __future__ import annotations
+
+from .instructions import (
+    AllocaInst,
+    BinaryOperator,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+from .module import BasicBlock, Function, Module
+from .values import Value
+
+
+def _operand(value: Value) -> str:
+    return value.ref()
+
+
+def _typed(value: Value) -> str:
+    return f"{value.type} {value.ref()}"
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render one instruction (no leading indentation)."""
+    if isinstance(inst, BinaryOperator):
+        return (f"{inst.ref()} = {inst.opcode} {inst.type} "
+                f"{_operand(inst.lhs)}, {_operand(inst.rhs)}")
+    if isinstance(inst, ICmpInst):
+        return (f"{inst.ref()} = icmp {inst.predicate} {inst.lhs.type} "
+                f"{_operand(inst.lhs)}, {_operand(inst.rhs)}")
+    if isinstance(inst, FCmpInst):
+        return (f"{inst.ref()} = fcmp {inst.predicate} {inst.lhs.type} "
+                f"{_operand(inst.lhs)}, {_operand(inst.rhs)}")
+    if isinstance(inst, AllocaInst):
+        return f"{inst.ref()} = alloca {inst.allocated_type}"
+    if isinstance(inst, LoadInst):
+        return (f"{inst.ref()} = load {inst.type}, "
+                f"{_typed(inst.pointer)}")
+    if isinstance(inst, StoreInst):
+        return f"store {_typed(inst.value)}, {_typed(inst.pointer)}"
+    if isinstance(inst, GEPInst):
+        indices = ", ".join(_typed(i) for i in inst.indices)
+        return f"{inst.ref()} = gep {_typed(inst.pointer)}, {indices}"
+    if isinstance(inst, BranchInst):
+        if inst.is_conditional():
+            then_b, else_b = inst.targets()
+            return (f"br i1 {_operand(inst.condition)}, "
+                    f"label %{then_b.name}, label %{else_b.name}")
+        return f"br label %{inst.targets()[0].name}"
+    if isinstance(inst, RetInst):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {_typed(inst.value)}"
+    if isinstance(inst, UnreachableInst):
+        return "unreachable"
+    if isinstance(inst, PhiInst):
+        arms = ", ".join(f"[ {_operand(v)}, %{b.name} ]"
+                         for v, b in inst.incoming)
+        return f"{inst.ref()} = phi {inst.type} {arms}"
+    if isinstance(inst, SelectInst):
+        return (f"{inst.ref()} = select i1 {_operand(inst.condition)}, "
+                f"{_typed(inst.true_value)}, {_typed(inst.false_value)}")
+    if isinstance(inst, CastInst):
+        return (f"{inst.ref()} = {inst.opcode} {_typed(inst.value)} "
+                f"to {inst.type}")
+    if isinstance(inst, CallInst):
+        args = ", ".join(_typed(a) for a in inst.args)
+        prefix = f"{inst.ref()} = " if not inst.type.is_void() else ""
+        return f"{prefix}call {inst.type} @{inst.callee}({args})"
+    raise NotImplementedError(f"cannot print {inst.opcode}")
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        lines.append(f"  {print_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def print_function(function: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in function.args)
+    header = f"define {function.return_type} @{function.name}({params})"
+    if function.is_declaration():
+        return f"declare {function.return_type} @{function.name}({params})"
+    body = "\n".join(print_block(b) for b in function.blocks)
+    return f"{header} {{\n{body}\n}}"
+
+
+def print_module(module: Module) -> str:
+    parts = []
+    for gv in module.globals.values():
+        kind = "constant" if gv.constant else "global"
+        parts.append(f"@{gv.name} = {kind} {gv.value_type}")
+    for function in module.functions.values():
+        parts.append(print_function(function))
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,29 @@
+"""IR-to-IR transformation passes (mem2reg, folding, DCE, CFG cleanup)."""
+
+from .constfold import fold_constants, fold_instruction
+from .cse import eliminate_common_subexpressions, eliminate_redundant_loads
+from .dce import eliminate_dead_code
+from .instcombine import combine_instructions
+from .licm import hoist_loop_invariants
+from .mem2reg import is_promotable, promote_allocas, remove_trivial_phis
+from .pipeline import optimize, optimize_function
+from .promote import forward_stores, promote_loop_accumulators
+from .simplifycfg import (
+    collapse_identical_branches,
+    merge_blocks,
+    remove_empty_forwarders,
+    remove_unreachable_blocks,
+    simplify_cfg,
+)
+
+__all__ = [
+    "fold_constants", "fold_instruction",
+    "eliminate_common_subexpressions", "eliminate_redundant_loads",
+    "eliminate_dead_code",
+    "combine_instructions", "hoist_loop_invariants",
+    "is_promotable", "promote_allocas", "remove_trivial_phis",
+    "forward_stores", "promote_loop_accumulators",
+    "optimize", "optimize_function",
+    "collapse_identical_branches", "merge_blocks",
+    "remove_empty_forwarders", "remove_unreachable_blocks", "simplify_cfg",
+]

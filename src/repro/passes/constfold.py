@@ -1,0 +1,156 @@
+"""Constant folding for binops, comparisons, casts and selects."""
+
+from __future__ import annotations
+
+import math
+
+from ..ir.instructions import (
+    BinaryOperator,
+    CastInst,
+    FCmpInst,
+    ICmpInst,
+    Instruction,
+    SelectInst,
+)
+from ..ir.module import Function
+from ..ir.types import FloatType, IntType
+from ..ir.values import ConstantFloat, ConstantInt, Value
+
+
+def _int_binop(op: str, a: int, b: int, ty: IntType) -> int | None:
+    try:
+        if op == "add":
+            return a + b
+        if op == "sub":
+            return a - b
+        if op == "mul":
+            return a * b
+        if op == "sdiv":
+            return _c_div(a, b)
+        if op == "srem":
+            return a - _c_div(a, b) * b
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op == "shl":
+            return a << (b % ty.bits)
+        if op == "ashr":
+            return a >> (b % ty.bits)
+        if op == "lshr":
+            mask = (1 << ty.bits) - 1
+            return (a & mask) >> (b % ty.bits)
+    except ZeroDivisionError:
+        return None
+    return None
+
+
+def _c_div(a: int, b: int) -> int:
+    """C semantics: truncation toward zero."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _float_binop(op: str, a: float, b: float) -> float | None:
+    try:
+        if op == "fadd":
+            return a + b
+        if op == "fsub":
+            return a - b
+        if op == "fmul":
+            return a * b
+        if op == "fdiv":
+            return a / b if b != 0 else math.inf if a > 0 else (
+                -math.inf if a < 0 else math.nan)
+        if op == "frem":
+            return math.fmod(a, b) if b != 0 else math.nan
+    except (OverflowError, ValueError):
+        return None
+    return None
+
+
+_ICMP = {
+    "eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b, "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b, "sge": lambda a, b: a >= b,
+    "ult": lambda a, b: a < b, "ule": lambda a, b: a <= b,
+    "ugt": lambda a, b: a > b, "uge": lambda a, b: a >= b,
+}
+
+_FCMP = {
+    "oeq": lambda a, b: a == b, "one": lambda a, b: a != b,
+    "olt": lambda a, b: a < b, "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b, "oge": lambda a, b: a >= b,
+    "ueq": lambda a, b: a == b or math.isnan(a) or math.isnan(b),
+    "une": lambda a, b: a != b,
+    "ult": lambda a, b: a < b or math.isnan(a) or math.isnan(b),
+    "ule": lambda a, b: a <= b or math.isnan(a) or math.isnan(b),
+    "ugt": lambda a, b: a > b or math.isnan(a) or math.isnan(b),
+    "uge": lambda a, b: a >= b or math.isnan(a) or math.isnan(b),
+}
+
+
+def fold_instruction(inst: Instruction) -> Value | None:
+    """Return the constant this instruction folds to, or None."""
+    if isinstance(inst, BinaryOperator):
+        lhs, rhs = inst.lhs, inst.rhs
+        if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+            result = _int_binop(inst.opcode, lhs.value, rhs.value, inst.type)
+            if result is not None:
+                return ConstantInt(inst.type, result)
+        if isinstance(lhs, ConstantFloat) and isinstance(rhs, ConstantFloat):
+            result = _float_binop(inst.opcode, lhs.value, rhs.value)
+            if result is not None:
+                return ConstantFloat(inst.type, result)
+    elif isinstance(inst, ICmpInst):
+        lhs, rhs = inst.lhs, inst.rhs
+        if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+            return ConstantInt(inst.type, int(
+                _ICMP[inst.predicate](lhs.value, rhs.value)))
+    elif isinstance(inst, FCmpInst):
+        lhs, rhs = inst.lhs, inst.rhs
+        if isinstance(lhs, ConstantFloat) and isinstance(rhs, ConstantFloat):
+            a, b = lhs.value, rhs.value
+            if inst.predicate.startswith("o") and (
+                    math.isnan(a) or math.isnan(b)):
+                return ConstantInt(inst.type, 0)
+            return ConstantInt(inst.type, int(
+                _FCMP[inst.predicate](a, b)))
+    elif isinstance(inst, CastInst):
+        value = inst.value
+        if isinstance(value, ConstantInt):
+            if isinstance(inst.type, IntType):
+                return ConstantInt(inst.type, value.value)
+            if isinstance(inst.type, FloatType):
+                return ConstantFloat(inst.type, float(value.value))
+        if isinstance(value, ConstantFloat):
+            if isinstance(inst.type, FloatType):
+                return ConstantFloat(inst.type, value.value)
+            if isinstance(inst.type, IntType) and math.isfinite(value.value):
+                return ConstantInt(inst.type, int(value.value))
+    elif isinstance(inst, SelectInst):
+        cond = inst.condition
+        if isinstance(cond, ConstantInt):
+            return inst.true_value if cond.value else inst.false_value
+        if inst.true_value is inst.false_value:
+            return inst.true_value
+    return None
+
+
+def fold_constants(function: Function) -> int:
+    """Fold until fixpoint; returns number of folded instructions."""
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                replacement = fold_instruction(inst)
+                if replacement is not None:
+                    inst.replace_all_uses_with(replacement)
+                    inst.erase_from_parent()
+                    folded += 1
+                    changed = True
+    return folded

@@ -1,0 +1,120 @@
+"""Common subexpression elimination (a GVN-lite slice of LLVM's EarlyCSE).
+
+Two parts:
+
+* **Pure expression CSE** — identical pure instructions (same opcode,
+  operands, predicate) where one dominates the other collapse to the
+  dominating copy. This unifies the twin address computations C front ends
+  emit for ``C[i] = C[i] + x`` style code, which the GEMM and histogram
+  idioms rely on (the paper matches post-GVN LLVM IR).
+* **Load CSE** — repeated loads of the same pointer SSA value with no
+  intervening may-aliasing write (block-local, like EarlyCSE).
+"""
+
+from __future__ import annotations
+
+from ..analysis.dominators import DominatorTree
+from ..analysis.memdep import may_alias
+from ..ir.instructions import (
+    BinaryOperator,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    SelectInst,
+    StoreInst,
+)
+from ..ir.module import Function
+from ..ir.values import ConstantFloat, ConstantInt, Value
+from .licm import _types_may_alias
+
+
+def _operand_key(value: Value):
+    if isinstance(value, ConstantInt):
+        return ("ci", value.type, value.value)
+    if isinstance(value, ConstantFloat):
+        return ("cf", value.type, value.value)
+    return id(value)
+
+
+def _expression_key(inst: Instruction):
+    """Hashable structural identity for pure instructions, or None."""
+    if isinstance(inst, (BinaryOperator, GEPInst, CastInst, SelectInst)):
+        return (inst.opcode, inst.type,
+                tuple(_operand_key(op) for op in inst.operands))
+    if isinstance(inst, (ICmpInst, FCmpInst)):
+        return (inst.opcode, inst.predicate,
+                tuple(_operand_key(op) for op in inst.operands))
+    if isinstance(inst, CallInst) and inst.is_pure() and \
+            inst.callee != "rand":
+        return ("call", inst.callee,
+                tuple(_operand_key(op) for op in inst.operands))
+    return None
+
+
+def eliminate_common_subexpressions(function: Function) -> int:
+    """Dominator-ordered expression CSE; returns replaced count."""
+    domtree = DominatorTree.block_level(function)
+    replaced = 0
+    available: dict = {}
+
+    def visit(block) -> None:
+        nonlocal replaced
+        added: list = []
+        for inst in list(block.instructions):
+            key = _expression_key(inst)
+            if key is None:
+                continue
+            existing = available.get(key)
+            if existing is not None:
+                inst.replace_all_uses_with(existing)
+                inst.erase_from_parent()
+                replaced += 1
+            else:
+                available[key] = inst
+                added.append(key)
+        for child in domtree.children(block):
+            visit(child)
+        for key in added:
+            del available[key]
+
+    import sys
+
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(limit, 10000))
+    try:
+        visit(function.entry)
+    finally:
+        sys.setrecursionlimit(limit)
+    return replaced
+
+
+def eliminate_redundant_loads(function: Function) -> int:
+    """Block-local load CSE with alias-aware invalidation."""
+    replaced = 0
+    for block in function.blocks:
+        last_load: dict[int, LoadInst] = {}
+        pointers: dict[int, Value] = {}
+        for inst in list(block.instructions):
+            if isinstance(inst, LoadInst):
+                prior = last_load.get(id(inst.pointer))
+                if prior is not None and prior.type is inst.type:
+                    inst.replace_all_uses_with(prior)
+                    inst.erase_from_parent()
+                    replaced += 1
+                else:
+                    last_load[id(inst.pointer)] = inst
+                    pointers[id(inst.pointer)] = inst.pointer
+            elif isinstance(inst, StoreInst):
+                for key, ptr in list(pointers.items()):
+                    if _types_may_alias(ptr, inst.pointer) and \
+                            may_alias(ptr, inst.pointer):
+                        del last_load[key]
+                        del pointers[key]
+            elif isinstance(inst, CallInst) and not inst.is_pure():
+                last_load.clear()
+                pointers.clear()
+    return replaced

@@ -1,0 +1,148 @@
+"""SSA construction: promote allocas to registers (LLVM's mem2reg).
+
+This is what turns the front end's load/store soup into the phi-based loop
+form the paper's IDL idioms are written against (accumulator phis like
+``%d = phi double [ 0.0, ... ], [ %d_next, ... ]`` in Figure 4).
+"""
+
+from __future__ import annotations
+
+from ..analysis.dominators import DominatorTree, dominance_frontiers
+from ..ir.instructions import AllocaInst, Instruction, LoadInst, PhiInst, StoreInst
+from ..ir.module import BasicBlock, Function
+from ..ir.values import UndefValue, Value
+
+
+def is_promotable(alloca: AllocaInst) -> bool:
+    """Only allocas used purely by loads and full-value stores promote."""
+    if alloca.allocated_type.is_array():
+        return False
+    for use in alloca.uses:
+        user = use.user
+        if isinstance(user, LoadInst):
+            continue
+        if isinstance(user, StoreInst) and user.pointer is alloca and \
+                user.value is not alloca:
+            continue
+        return False
+    return True
+
+
+def promote_allocas(function: Function) -> int:
+    """Run mem2reg on one function; returns number of promoted allocas."""
+    allocas = [inst for inst in function.entry.instructions
+               if isinstance(inst, AllocaInst) and is_promotable(inst)]
+    if not allocas:
+        return 0
+
+    frontiers = dominance_frontiers(function)
+    domtree = DominatorTree.block_level(function)
+
+    # -- phi placement (iterated dominance frontier per alloca) ---------------
+    phi_for: dict[int, dict[int, PhiInst]] = {}  # alloca id -> block id -> phi
+    phi_alloca: dict[int, AllocaInst] = {}       # phi id -> alloca
+    for alloca in allocas:
+        def_blocks = {id(u.user.parent): u.user.parent
+                      for u in alloca.uses
+                      if isinstance(u.user, StoreInst)}
+        worklist = list(def_blocks.values())
+        placed: dict[int, PhiInst] = {}
+        seen: set[int] = set()
+        while worklist:
+            block = worklist.pop()
+            for front in frontiers.get(id(block), ()):
+                if id(front) in placed:
+                    continue
+                phi = PhiInst(alloca.allocated_type)
+                phi.name = function.unique_name(alloca.name or "var")
+                front.insert(len(front.phis()), phi)
+                placed[id(front)] = phi
+                phi_alloca[id(phi)] = alloca
+                if id(front) not in seen:
+                    seen.add(id(front))
+                    worklist.append(front)
+        phi_for[id(alloca)] = placed
+
+    # -- renaming (DFS over the dominator tree) ----------------------------------
+    current: dict[int, Value] = {}
+    to_erase: list[Instruction] = []
+
+    def value_of(alloca: AllocaInst) -> Value:
+        return current.get(id(alloca)) or UndefValue(alloca.allocated_type)
+
+    def process_block(block: BasicBlock, saved: list[tuple[int, Value | None]]):
+        for inst in list(block.instructions):
+            if isinstance(inst, PhiInst) and id(inst) in phi_alloca:
+                alloca = phi_alloca[id(inst)]
+                saved.append((id(alloca), current.get(id(alloca))))
+                current[id(alloca)] = inst
+            elif isinstance(inst, LoadInst) and \
+                    isinstance(inst.pointer, AllocaInst) and \
+                    id(inst.pointer) in phi_for:
+                inst.replace_all_uses_with(value_of(inst.pointer))
+                to_erase.append(inst)
+            elif isinstance(inst, StoreInst) and \
+                    isinstance(inst.pointer, AllocaInst) and \
+                    id(inst.pointer) in phi_for:
+                alloca = inst.pointer
+                saved.append((id(alloca), current.get(id(alloca))))
+                current[id(alloca)] = inst.value
+                to_erase.append(inst)
+        for succ in block.successors():
+            for phi in succ.phis():
+                if id(phi) in phi_alloca:
+                    incoming = value_of(phi_alloca[id(phi)])
+                    phi.add_incoming(incoming, block)
+
+    def dfs(block: BasicBlock) -> None:
+        saved: list[tuple[int, Value | None]] = []
+        process_block(block, saved)
+        for child in domtree.children(block):
+            dfs(child)
+        for key, old in reversed(saved):
+            if old is None:
+                current.pop(key, None)
+            else:
+                current[key] = old
+
+    import sys
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10000))
+    try:
+        dfs(function.entry)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    for inst in to_erase:
+        inst.erase_from_parent()
+    for alloca in allocas:
+        if not alloca.uses:
+            alloca.erase_from_parent()
+
+    remove_trivial_phis(function)
+    return len(allocas)
+
+
+def remove_trivial_phis(function: Function) -> int:
+    """Remove phis that are redundant (all incoming equal, modulo self)."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for phi in list(block.phis()):
+                values = {id(v) for v, _ in phi.incoming if v is not phi}
+                distinct = [v for v, _ in phi.incoming if v is not phi]
+                if len(values) == 1:
+                    phi.replace_all_uses_with(distinct[0])
+                    phi.erase_from_parent()
+                    removed += 1
+                    changed = True
+                elif len(values) == 0:
+                    # Phi only references itself: dead cycle.
+                    phi.replace_all_uses_with(
+                        UndefValue(phi.type))
+                    phi.erase_from_parent()
+                    removed += 1
+                    changed = True
+    return removed

@@ -1,0 +1,51 @@
+"""The standard optimisation pipeline applied before idiom detection.
+
+Mirrors the subset of ``clang -O2`` the paper's matching relies on:
+SSA construction, constant folding, peephole canonicalisation, dead code
+elimination and CFG simplification, iterated to a fixed point.
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Function, Module
+from ..ir.verifier import verify_function, verify_module
+from .constfold import fold_constants
+from .cse import eliminate_common_subexpressions, eliminate_redundant_loads
+from .dce import eliminate_dead_code
+from .instcombine import combine_instructions
+from .licm import hoist_loop_invariants
+from .mem2reg import promote_allocas, remove_trivial_phis
+from .promote import forward_stores, promote_loop_accumulators
+from .simplifycfg import remove_unreachable_blocks, simplify_cfg
+
+
+def optimize_function(function: Function, verify: bool = True) -> None:
+    if function.is_declaration():
+        return
+    remove_unreachable_blocks(function)
+    promote_allocas(function)
+    for _ in range(8):  # fixed-point iteration with a safety bound
+        changed = 0
+        changed += fold_constants(function)
+        changed += combine_instructions(function)
+        changed += eliminate_common_subexpressions(function)
+        changed += eliminate_redundant_loads(function)
+        changed += eliminate_dead_code(function)
+        changed += simplify_cfg(function)
+        changed += remove_trivial_phis(function)
+        changed += hoist_loop_invariants(function)
+        changed += forward_stores(function)
+        changed += promote_loop_accumulators(function)
+        if not changed:
+            break
+    if verify:
+        verify_function(function)
+
+
+def optimize(module: Module, verify: bool = True) -> Module:
+    """Optimise all functions in place and return the module."""
+    for function in module.functions.values():
+        optimize_function(function, verify=verify)
+    if verify:
+        verify_module(module)
+    return module

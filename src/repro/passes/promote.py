@@ -1,0 +1,185 @@
+"""Scalar promotion of loop accumulators + store-to-load forwarding.
+
+Together these reproduce the slice of LLVM's LICM store promotion and GVN
+that the paper's matching implicitly relies on: ``C[i][j] += A[i][k] *
+B[k][j]`` only exposes a register accumulator phi (which DotProductLoop
+matches) after the memory round-trip through ``C[i][j]`` is promoted.
+"""
+
+from __future__ import annotations
+
+from ..analysis.loops import Loop, LoopInfo
+from ..analysis.memdep import may_alias
+from ..ir.instructions import (
+    CallInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    StoreInst,
+)
+from ..ir.module import BasicBlock, Function
+from ..ir.types import PointerType
+from ..ir.values import Value
+from .licm import _types_may_alias
+
+
+def forward_stores(function: Function) -> int:
+    """Within each block, forward stored values to subsequent loads of the
+    same address value (no intervening may-aliasing write)."""
+    forwarded = 0
+    for block in function.blocks:
+        last_store: dict[int, Value] = {}  # id(pointer SSA value) -> value
+        pointers: dict[int, Value] = {}
+        for inst in list(block.instructions):
+            if isinstance(inst, StoreInst):
+                # Invalidate aliasing entries, then record this store.
+                for key, ptr in list(pointers.items()):
+                    if ptr is not inst.pointer and \
+                            _types_may_alias(ptr, inst.pointer) and \
+                            may_alias(ptr, inst.pointer):
+                        del last_store[key]
+                        del pointers[key]
+                last_store[id(inst.pointer)] = inst.value
+                pointers[id(inst.pointer)] = inst.pointer
+            elif isinstance(inst, LoadInst):
+                value = last_store.get(id(inst.pointer))
+                if value is not None and value.type is inst.type:
+                    inst.replace_all_uses_with(value)
+                    inst.erase_from_parent()
+                    forwarded += 1
+            elif isinstance(inst, CallInst) and not inst.is_pure():
+                last_store.clear()
+                pointers.clear()
+    return forwarded
+
+
+def _loop_memory_ops(loop: Loop) -> list[Instruction]:
+    ops = []
+    for inst in loop.instructions():
+        if isinstance(inst, (LoadInst, StoreInst)):
+            ops.append(inst)
+        elif isinstance(inst, CallInst) and not inst.is_pure():
+            ops.append(inst)
+    return ops
+
+
+def _is_invariant_in(value: Value, loop: Loop) -> bool:
+    return not (isinstance(value, Instruction) and loop.contains(value))
+
+
+def promote_loop_accumulators(function: Function) -> int:
+    """Promote in-loop read-modify-write of a loop-invariant address to a
+    register accumulator (phi), loading before and storing after the loop.
+
+    Requirements per candidate address P (a single SSA pointer value):
+    * P is loop invariant;
+    * every memory op in the loop that may alias P *is* a load/store of
+      exactly P (no impure calls);
+    * the (single) store of P dominates the loop latch (runs every
+      iteration) and every load of P dominates the store;
+    * the loop has a preheader and a single exit block whose only
+      predecessor is the loop header.
+    """
+    promoted = 0
+    info = LoopInfo(function)
+    from ..analysis.dominators import DominatorTree
+
+    for loop in sorted(info.loops, key=lambda l: -l.depth):
+        preheader = loop.preheader()
+        if preheader is None or preheader.terminator is None:
+            continue
+        exits = loop.exit_blocks()
+        if len(exits) != 1:
+            continue
+        exit_block = exits[0]
+        if len(exit_block.predecessors()) != 1 or \
+                exit_block.predecessors()[0] is not loop.header:
+            continue
+        if len(loop.latches) != 1:
+            continue
+        latch = loop.latches[0]
+        ops = _loop_memory_ops(loop)
+
+        # Group loads/stores by identical pointer SSA value.
+        by_pointer: dict[int, list[Instruction]] = {}
+        pointer_of: dict[int, Value] = {}
+        bad = False
+        for op in ops:
+            if isinstance(op, CallInst):
+                bad = True
+                break
+            ptr = op.pointer  # type: ignore[union-attr]
+            by_pointer.setdefault(id(ptr), []).append(op)
+            pointer_of[id(ptr)] = ptr
+        if bad:
+            continue
+
+        domtree = DominatorTree.block_level(function)
+        for key, group in by_pointer.items():
+            pointer = pointer_of[key]
+            if not _is_invariant_in(pointer, loop):
+                continue
+            stores = [op for op in group if isinstance(op, StoreInst)]
+            loads = [op for op in group if isinstance(op, LoadInst)]
+            if len(stores) != 1 or not loads:
+                continue
+            store = stores[0]
+            if not domtree.dominates(store.parent, latch):
+                continue
+            if not all(domtree.dominates(ld.parent, store.parent)
+                       for ld in loads):
+                continue
+            # No other op in the loop may alias this pointer.
+            conflict = False
+            for other_key, other_group in by_pointer.items():
+                if other_key == key:
+                    continue
+                other_ptr = pointer_of[other_key]
+                writes_either = isinstance(store, StoreInst) or any(
+                    isinstance(o, StoreInst) for o in other_group)
+                if writes_either and _types_may_alias(pointer, other_ptr) \
+                        and may_alias(pointer, other_ptr):
+                    conflict = True
+                    break
+            if conflict:
+                continue
+
+            _promote_one(function, loop, preheader, latch, exit_block,
+                         pointer, loads, store)
+            promoted += 1
+            # Loop structure changed; re-analyse before further promotion.
+            return promoted + promote_loop_accumulators(function)
+    return promoted
+
+
+def _promote_one(function: Function, loop: Loop, preheader: BasicBlock,
+                 latch: BasicBlock, exit_block: BasicBlock, pointer: Value,
+                 loads: list[LoadInst], store: StoreInst) -> None:
+    assert isinstance(pointer.type, PointerType)
+    value_type = pointer.type.pointee
+
+    # Initial value: load in the preheader, before its terminator.
+    init = LoadInst(pointer)
+    init.name = function.unique_name("promoted")
+    preheader.insert(preheader.terminator.index_in_block(), init)
+
+    # Accumulator phi in the loop header.
+    phi = PhiInst(value_type)
+    phi.name = function.unique_name("acc")
+    loop.header.insert(len(loop.header.phis()), phi)
+    stored_value = store.value
+    for pred in loop.header.predecessors():
+        if loop.contains_block(pred):
+            phi.add_incoming(stored_value, pred)
+        else:
+            phi.add_incoming(init, pred)
+
+    # In-loop loads read the phi.
+    for load in loads:
+        load.replace_all_uses_with(phi)
+        load.erase_from_parent()
+
+    # The store moves to the exit block; the live-out value is the phi.
+    store.erase_from_parent()
+    final = StoreInst(phi, pointer)
+    exit_block.insert(len(exit_block.phis()), final)

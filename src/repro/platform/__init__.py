@@ -1,0 +1,18 @@
+"""Platform models: machines, roofline costs, transfer modelling."""
+
+from .cost import (
+    OPENCL,
+    OPENMP,
+    AcceleratedCost,
+    ReferenceImplementation,
+    best_api_cost,
+    reference_time,
+    site_cost,
+)
+from .machine import CPU, GPU, IGPU, MACHINES, Machine, sequential_time_seconds
+
+__all__ = [
+    "OPENCL", "OPENMP", "AcceleratedCost", "ReferenceImplementation",
+    "best_api_cost", "reference_time", "site_cost",
+    "CPU", "GPU", "IGPU", "MACHINES", "Machine", "sequential_time_seconds",
+]

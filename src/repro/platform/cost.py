@@ -1,0 +1,111 @@
+"""Roofline-style cost model for accelerated idiom execution.
+
+For an API call site with accumulated dynamic statistics (elements, flops,
+bytes) the model charges, per call::
+
+    T = launch + transfer(bytes_moved) + max(flops/peak·eff, bytes/bw)
+
+where ``eff`` is the API's efficiency for the idiom category (Table 3's
+calibration constants, see :mod:`repro.backends.api`). Transfer is charged
+on discrete devices only, and only for buffers not already resident — the
+paper's "lazy copying" optimisation (§8.3, red bars in Figure 18) is the
+``lazy_transfers`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..backends.api import ApiCallSite, ApiDescriptor
+from .machine import Machine
+
+
+@dataclass
+class AcceleratedCost:
+    """Simulated cost breakdown of one call site on one (API, machine)."""
+
+    compute_s: float
+    transfer_s: float
+    launch_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.transfer_s + self.launch_s
+
+
+def site_cost(site: ApiCallSite, api: ApiDescriptor, machine: Machine,
+              lazy_transfers: bool = False) -> AcceleratedCost:
+    """Cost of all dynamic executions of ``site`` on the given target."""
+    stats = site.stats
+    calls = max(1, int(stats.get("calls", 1)))
+    elements = float(stats.get("elements", 0))
+    flops = elements * float(stats.get("flops_per_element", 1.0))
+    bytes_touched = float(stats.get("bytes", 8 * elements))
+
+    efficiency = api.efficiency.get(site.category, 0.3)
+    compute = max(flops / (machine.peak_gflops * 1e9 * efficiency),
+                  bytes_touched / (machine.mem_bandwidth_gbs * 1e9 *
+                                   efficiency))
+
+    if machine.transfer_gbs == float("inf"):
+        transfer = 0.0
+    else:
+        moved = bytes_touched if not lazy_transfers else \
+            bytes_touched / calls  # resident data moves once, not per call
+        transfer = moved / (machine.transfer_gbs * 1e9) + \
+            calls * machine.transfer_latency_us * 1e-6
+        if lazy_transfers:
+            transfer = moved / (machine.transfer_gbs * 1e9) + \
+                2 * machine.transfer_latency_us * 1e-6
+
+    launch = calls * api.launch_overhead_us * 1e-6
+    return AcceleratedCost(compute, transfer, launch)
+
+
+def best_api_cost(site: ApiCallSite, apis: list[ApiDescriptor],
+                  machine: Machine,
+                  lazy_transfers: bool = False
+                  ) -> tuple[ApiDescriptor, AcceleratedCost] | None:
+    """The fastest applicable API for this site on this machine."""
+    best: tuple[ApiDescriptor, AcceleratedCost] | None = None
+    for api in apis:
+        if not api.supports(machine.name, site.category):
+            continue
+        cost = site_cost(site, api, machine, lazy_transfers)
+        if best is None or cost.total_s < best[1].total_s:
+            best = (api, cost)
+    return best
+
+
+#: Reference handwritten-parallel models for Figure 19: the speedup factor
+#: over sequential that the benchmark suites' OpenMP (4-core CPU) and
+#: OpenCL (discrete GPU) reference implementations achieve on covered +
+#: uncovered code. Benchmarks whose reference versions change the
+#: algorithm outright (paper: EP, IS, MG, tpacf parallelise the entire
+#: application) carry an extra algorithmic factor.
+@dataclass(frozen=True)
+class ReferenceImplementation:
+    name: str  # 'OpenMP' | 'OpenCL'
+    machine_name: str
+    base_factor: float  # parallel speedup on parallelisable fraction
+
+
+OPENMP = ReferenceImplementation("OpenMP", "cpu", 3.4)
+OPENCL = ReferenceImplementation("OpenCL", "gpu", 30.0)
+
+
+def reference_time(seq_seconds: float, coverage: float,
+                   ref: ReferenceImplementation,
+                   whole_program: bool = False,
+                   algorithmic_factor: float = 1.0) -> float:
+    """Amdahl-style reference implementation time.
+
+    ``coverage`` is the idiom-covered fraction; handwritten versions
+    parallelise the *whole* program (coverage → 1.0) when
+    ``whole_program`` is set.
+    """
+    fraction = 1.0 if whole_program else max(0.0, min(coverage, 1.0))
+    parallel_part = seq_seconds * fraction
+    serial_part = seq_seconds - parallel_part
+    return serial_part + parallel_part / (ref.base_factor *
+                                          algorithmic_factor)

@@ -1,0 +1,85 @@
+"""Machine models for the paper's three evaluation platforms.
+
+The paper measures on an AMD A10-7850K (4-core CPU + integrated Radeon R7
+on one die) and an Nvidia GTX Titan X over PCIe. Here each platform is an
+analytic model — peak flops, memory bandwidth, transfer bandwidth, launch
+latency — with values chosen of the same order as the real parts. All
+times produced from these models are labelled *simulated*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One execution platform."""
+
+    name: str                 # 'cpu' | 'igpu' | 'gpu'
+    description: str
+    peak_gflops: float        # double-precision-ish sustained peak
+    mem_bandwidth_gbs: float  # device memory bandwidth
+    transfer_gbs: float       # host<->device bandwidth (inf for host)
+    transfer_latency_us: float
+    cores: int
+    #: Cost in nanoseconds of one *sequential scalar* IR instruction class
+    #: when interpreted as single-threaded host execution (used for the
+    #: sequential baseline only, hence present only on the CPU).
+    scalar_ns: dict | None = None
+
+
+#: Per-opcode-class sequential cost in nanoseconds (single CPU core).
+_SEQ_COSTS = {
+    "load": 1.2, "store": 1.2, "gep": 0.4,
+    "fadd": 0.8, "fsub": 0.8, "fmul": 1.0, "fdiv": 6.0, "frem": 10.0,
+    "add": 0.3, "sub": 0.3, "mul": 0.9, "sdiv": 7.0, "srem": 7.0,
+    "and": 0.3, "or": 0.3, "xor": 0.3, "shl": 0.3, "ashr": 0.3,
+    "lshr": 0.3,
+    "icmp": 0.3, "fcmp": 0.8, "select": 0.5, "phi": 0.2, "br": 0.4,
+    "ret": 0.5, "call": 15.0, "sext": 0.2, "zext": 0.2, "trunc": 0.2,
+    "sitofp": 1.0, "fptosi": 1.0, "fpext": 0.5, "fptrunc": 0.5,
+    "bitcast": 0.0, "alloca": 1.0, "unreachable": 0.0,
+}
+
+CPU = Machine(
+    name="cpu",
+    description="AMD A10-7850K 4-core CPU (simulated)",
+    peak_gflops=55.0,
+    mem_bandwidth_gbs=21.0,
+    transfer_gbs=float("inf"),
+    transfer_latency_us=0.0,
+    cores=4,
+    scalar_ns=_SEQ_COSTS,
+)
+
+IGPU = Machine(
+    name="igpu",
+    description="AMD Radeon R7 integrated GPU (simulated)",
+    peak_gflops=737.0 * 0.25,     # fp64-equivalent throughput slice
+    mem_bandwidth_gbs=21.0,       # shares the DDR3 memory system
+    transfer_gbs=40.0,            # same-die: coherence traffic only
+    transfer_latency_us=15.0,
+    cores=512,
+)
+
+GPU = Machine(
+    name="gpu",
+    description="Nvidia GTX Titan X discrete GPU (simulated)",
+    peak_gflops=6600.0 * 0.25,
+    mem_bandwidth_gbs=336.0,
+    transfer_gbs=12.0,            # PCIe 3.0 x16 effective
+    transfer_latency_us=90.0,
+    cores=3072,
+)
+
+MACHINES: dict[str, Machine] = {m.name: m for m in (CPU, IGPU, GPU)}
+
+
+def sequential_time_seconds(opcode_counts: dict[str, int]) -> float:
+    """Simulated single-core time for the given dynamic opcode counts."""
+    costs = CPU.scalar_ns or {}
+    total_ns = 0.0
+    for opcode, count in opcode_counts.items():
+        total_ns += count * costs.get(opcode, 1.0)
+    return total_ns * 1e-9

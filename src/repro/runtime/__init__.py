@@ -1,0 +1,19 @@
+"""Execution substrate: memory model, IR interpreter, benchmark runner."""
+
+from .interpreter import Interpreter, Profile
+from .memory import Buffer, Pointer, dtype_of, scalar_count, scalar_type_of
+from .runner import (
+    CompiledWorkload,
+    ExecutionResult,
+    compile_workload,
+    outputs_match,
+    run_accelerated,
+    run_original,
+)
+
+__all__ = [
+    "Interpreter", "Profile",
+    "Buffer", "Pointer", "dtype_of", "scalar_count", "scalar_type_of",
+    "CompiledWorkload", "ExecutionResult", "compile_workload",
+    "outputs_match", "run_accelerated", "run_original",
+]

@@ -1,0 +1,169 @@
+"""End-to-end benchmark runner: compile → detect → transform → execute.
+
+Produces everything the evaluation needs for one workload:
+
+* detection report (Table 1 / Figure 16),
+* runtime coverage from interpreter block counts (Figure 17),
+* simulated sequential time from dynamic opcode counts,
+* accelerated times per (API, platform) from the cost model
+  (Table 3 / Figures 18-19),
+* functional outputs of both versions, for equivalence checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..backends.api import ApiRuntime
+from ..errors import TransformError
+from ..frontend import compile_c
+from ..idioms import DetectionReport, IdiomDetector, IdiomMatch
+from ..ir.module import Module
+from ..passes import optimize
+from ..platform.machine import sequential_time_seconds
+from .interpreter import Interpreter
+from .memory import Buffer, Pointer
+
+
+
+@dataclass
+class CompiledWorkload:
+    """A compiled benchmark plus its detection results."""
+
+    name: str
+    module: Module
+    report: DetectionReport
+    compile_seconds: float = 0.0
+    detect_seconds: float = 0.0
+
+
+@dataclass
+class ExecutionResult:
+    """One interpreted execution."""
+
+    value: object
+    buffers: dict[str, Buffer]
+    total_instructions: int
+    idiom_instructions: int
+    opcode_counts: dict[str, int]
+    api_runtime: ApiRuntime | None = None
+    transforms: list = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        return self.idiom_instructions / self.total_instructions
+
+    @property
+    def sequential_seconds(self) -> float:
+        return sequential_time_seconds(self.opcode_counts)
+
+
+def compile_workload(name: str, source: str) -> CompiledWorkload:
+    """Compile and detect, recording wall-clock for Table 2."""
+    import time
+
+    t0 = time.perf_counter()
+    module = compile_c(source, name)
+    optimize(module)
+    t1 = time.perf_counter()
+    report = IdiomDetector().detect(module)
+    t2 = time.perf_counter()
+    return CompiledWorkload(name, module, report,
+                            compile_seconds=t1 - t0,
+                            detect_seconds=t2 - t1)
+
+
+def _bind_arguments(interpreter: Interpreter, module: Module, entry: str,
+                    inputs: dict) -> tuple[list, dict[str, Buffer]]:
+    """Convert python/numpy inputs to interpreter argument values."""
+    function = module.get_function(entry)
+    args = []
+    buffers: dict[str, Buffer] = {}
+    for formal in function.args:
+        if formal.name not in inputs:
+            raise TransformError(
+                f"missing input {formal.name!r} for @{entry}")
+        value = inputs[formal.name]
+        if isinstance(value, np.ndarray):
+            buffer = Buffer.from_numpy(formal.name, value.copy())
+            buffers[formal.name] = buffer
+            args.append(Pointer(buffer, 0))
+        else:
+            args.append(value)
+    return args, buffers
+
+
+def run_original(workload: CompiledWorkload, entry: str,
+                 inputs: dict) -> ExecutionResult:
+    """Interpret the unmodified module, attributing idiom coverage."""
+    interpreter = Interpreter(workload.module)
+    args, buffers = _bind_arguments(interpreter, workload.module, entry,
+                                    inputs)
+    value = interpreter.call(entry, args)
+    for name, buffer in interpreter.globals.items():
+        buffers.setdefault(name, buffer)
+
+    idiom_blocks: set[int] = set()
+    for match in workload.report.matches:
+        idiom_blocks |= match.region_blocks()
+    profile = interpreter.profile
+    return ExecutionResult(
+        value=value,
+        buffers=buffers,
+        total_instructions=profile.total_instructions(),
+        idiom_instructions=profile.instructions_in(idiom_blocks),
+        opcode_counts=profile.opcode_counts(),
+    )
+
+
+def run_accelerated(workload: CompiledWorkload, entry: str, inputs: dict,
+                    matches: list[IdiomMatch] | None = None
+                    ) -> ExecutionResult:
+    """Transform the matched idioms to API calls, then interpret.
+
+    The transformation mutates ``workload.module`` in place, so callers
+    wanting to compare against the original must compile a fresh copy.
+    """
+    from ..transform.replace import Transformer
+
+    runtime = ApiRuntime()
+    transformer = Transformer(workload.module, runtime)
+    applied = transformer.apply(matches if matches is not None
+                                else list(workload.report.matches))
+    interpreter = Interpreter(workload.module, api_runtime=runtime)
+    args, buffers = _bind_arguments(interpreter, workload.module, entry,
+                                    inputs)
+    value = interpreter.call(entry, args)
+    for name, buffer in interpreter.globals.items():
+        buffers.setdefault(name, buffer)
+    profile = interpreter.profile
+    return ExecutionResult(
+        value=value,
+        buffers=buffers,
+        total_instructions=profile.total_instructions(),
+        idiom_instructions=0,
+        opcode_counts=profile.opcode_counts(),
+        api_runtime=runtime,
+        transforms=applied,
+    )
+
+
+def outputs_match(a: ExecutionResult, b: ExecutionResult,
+                  rtol: float = 1e-9, atol: float = 1e-9) -> bool:
+    """Compare return values and every shared buffer."""
+    if a.value is not None or b.value is not None:
+        if not np.allclose(a.value, b.value, rtol=rtol, atol=atol,
+                           equal_nan=True):
+            return False
+    for name, buffer in a.buffers.items():
+        other = b.buffers.get(name)
+        if other is None:
+            continue
+        if not np.allclose(buffer.data, other.data, rtol=rtol, atol=atol,
+                           equal_nan=True):
+            return False
+    return True

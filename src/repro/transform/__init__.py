@@ -1,0 +1,26 @@
+"""Idiom replacement: kernel extraction, API call generation, C backend."""
+
+from .c_backend import expr_to_c, kernel_to_c
+from .kernels import (
+    ExtractedKernel,
+    KBin,
+    KCall,
+    KCapture,
+    KCast,
+    KCmp,
+    KConst,
+    KParam,
+    KSelect,
+    KernelExtractor,
+    evaluate,
+    match_accumulator_form,
+)
+from .replace import AppliedTransform, Transformer
+
+__all__ = [
+    "expr_to_c", "kernel_to_c",
+    "ExtractedKernel", "KBin", "KCall", "KCapture", "KCast", "KCmp",
+    "KConst", "KParam", "KSelect", "KernelExtractor", "evaluate",
+    "match_accumulator_form",
+    "AppliedTransform", "Transformer",
+]

@@ -1,0 +1,104 @@
+"""The "rudimentary LLVM IR to C backend" (paper §6.2).
+
+Lift expects extracted kernels as sequential C functions with a fixed
+interface; this module renders :class:`~repro.transform.kernels.KExpr`
+trees (and guard predicates) to compilable C source text. The output is
+what our simulated Lift pipeline ingests — and it doubles as a
+human-readable witness of what was extracted, used in tests and examples.
+"""
+
+from __future__ import annotations
+
+from ..errors import TransformError
+from .kernels import (
+    ExtractedKernel,
+    KBin,
+    KCall,
+    KCapture,
+    KCast,
+    KCmp,
+    KConst,
+    KParam,
+    KSelect,
+)
+
+_C_BINOPS = {
+    "add": "+", "sub": "-", "mul": "*", "sdiv": "/", "srem": "%",
+    "fadd": "+", "fsub": "-", "fmul": "*", "fdiv": "/",
+    "and": "&", "or": "|", "xor": "^", "shl": "<<", "ashr": ">>",
+}
+
+_C_CMPS = {
+    "eq": "==", "ne": "!=", "slt": "<", "sle": "<=", "sgt": ">", "sge": ">=",
+    "ult": "<", "ule": "<=", "ugt": ">", "uge": ">=",
+    "oeq": "==", "one": "!=", "olt": "<", "ole": "<=", "ogt": ">",
+    "oge": ">=", "une": "!=", "ueq": "==",
+}
+
+
+def expr_to_c(expr) -> str:
+    """Render a kernel expression as a C expression string."""
+    if isinstance(expr, KConst):
+        if isinstance(expr.value, float):
+            return repr(expr.value)
+        return str(expr.value)
+    if isinstance(expr, KParam):
+        return f"in{expr.index}"
+    if isinstance(expr, KCapture):
+        return f"cap{expr.index}"
+    if isinstance(expr, KBin):
+        op = _C_BINOPS.get(expr.op)
+        if op is None:
+            raise TransformError(f"no C rendering for opcode {expr.op}")
+        return f"({expr_to_c(expr.lhs)} {op} {expr_to_c(expr.rhs)})"
+    if isinstance(expr, KCmp):
+        return (f"({expr_to_c(expr.lhs)} {_C_CMPS[expr.pred]} "
+                f"{expr_to_c(expr.rhs)})")
+    if isinstance(expr, KSelect):
+        return (f"({expr_to_c(expr.cond)} ? {expr_to_c(expr.on_true)} : "
+                f"{expr_to_c(expr.on_false)})")
+    if isinstance(expr, KCast):
+        target = {"fptosi": "long", "sitofp": "double", "fpext": "double",
+                  "fptrunc": "float", "sext": "long", "zext": "long",
+                  "trunc": "int", "bitcast": ""}.get(expr.kind, "")
+        inner = expr_to_c(expr.operand)
+        return f"(({target}){inner})" if target else inner
+    if isinstance(expr, KCall):
+        args = ", ".join(expr_to_c(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise TransformError(f"cannot render kernel node {expr!r}")
+
+
+def kernel_to_c(kernel: ExtractedKernel, name: str = "kernel",
+                n_params: int | None = None,
+                result_type: str = "double") -> str:
+    """Render an extracted kernel as a C function (the Lift interface)."""
+    params = n_params if n_params is not None else _max_param(kernel.expr) + 1
+    args = [f"double in{i}" for i in range(params)]
+    args += [f"double cap{i}" for i in range(len(kernel.captures))]
+    lines = [f"{result_type} {name}({', '.join(args)}) {{"]
+    if kernel.guard is not None:
+        lines.append(f"  if (!{expr_to_c(kernel.guard)}) return in{params - 1};")
+    lines.append(f"  return {expr_to_c(kernel.expr)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _max_param(expr) -> int:
+    best = -1
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, KParam):
+            best = max(best, node.index)
+        elif isinstance(node, KBin):
+            stack += [node.lhs, node.rhs]
+        elif isinstance(node, KCmp):
+            stack += [node.lhs, node.rhs]
+        elif isinstance(node, KSelect):
+            stack += [node.cond, node.on_true, node.on_false]
+        elif isinstance(node, KCast):
+            stack.append(node.operand)
+        elif isinstance(node, KCall):
+            stack += list(node.args)
+    return best

@@ -1,0 +1,630 @@
+"""Idiom replacement: cut the matched loops out, call the API instead.
+
+Implements paper §6: for every :class:`IdiomMatch` the transformer
+
+1. locates the loop nest the match spans and its preheader/exit,
+2. verifies no SSA value other than the idiom's result escapes the region,
+3. extracts kernel functions (for reductions/histograms/stencils) into
+   portable kernel expressions,
+4. registers a runtime handler with the :class:`ApiRuntime` that performs
+   the computation with the simulated vendor libraries / DSL pipelines,
+5. rewires the preheader branch past the loop and lets unreachable-block
+   cleanup delete the original code ("the remaining cleanup is left to the
+   standard dead code elimination pass").
+
+Aliasing note (paper §6.3): dense idioms get a runtime non-overlap guard
+(the handler checks buffer identity); sparse transformation is accepted
+as unsound in corner cases exactly as the paper concedes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.info import FunctionAnalyses
+from ..analysis.loops import Loop, LoopInfo
+from ..backends.api import ApiCallSite, ApiRuntime
+from ..backends import blas, sparse
+from ..errors import TransformError
+from ..idioms.matches import IdiomMatch
+from ..ir.instructions import CallInst, Instruction, PhiInst
+from ..ir.module import BasicBlock, Function, Module
+from ..ir.types import VOID, ArrayType, PointerType
+from ..ir.values import Argument, Constant, ConstantInt, GlobalVariable, Value
+from ..passes.dce import eliminate_dead_code
+from ..passes.simplifycfg import remove_unreachable_blocks
+from ..runtime.memory import Pointer
+from .kernels import KernelExtractor, evaluate, match_accumulator_form
+
+
+@dataclass
+class AppliedTransform:
+    match: IdiomMatch
+    site: ApiCallSite
+    function: Function
+
+
+class Transformer:
+    """Applies idiom replacements to a module."""
+
+    def __init__(self, module: Module, runtime: ApiRuntime):
+        self.module = module
+        self.runtime = runtime
+
+    def apply(self, matches: list[IdiomMatch]) -> list[AppliedTransform]:
+        """Matches sharing one loop (EP's histogram + conditional sum)
+        are replaced jointly: one call per idiom, one loop deletion."""
+        groups: dict[tuple, list[IdiomMatch]] = {}
+        for match in matches:
+            iterator = match.value("iterator") or match.value("iterator[0]")
+            key = (id(match.function), id(iterator))
+            groups.setdefault(key, []).append(match)
+        applied = []
+        for group in groups.values():
+            applied.extend(self.apply_group(group))
+        return applied
+
+    def apply_group(self, group: list[IdiomMatch]) -> list[AppliedTransform]:
+        function = group[0].function
+        analyses = FunctionAnalyses(function)
+        builders = [_SiteBuilder(m, function, analyses) for m in group]
+        # Values produced by sibling idioms in the same loop are not
+        # escapes — their out-of-loop uses get each sibling's call result.
+        shared = [b.expected_result() for b in builders]
+        shared = [v for v in shared if v is not None]
+        sites = [b.build(self.runtime, allowed_escapes=shared)
+                 for b in builders]
+        for builder, site in zip(builders, sites):
+            builder.insert_call(site)
+        builders[0].bypass_loop()
+        remove_unreachable_blocks(function)
+        eliminate_dead_code(function)
+        return [AppliedTransform(m, s, function)
+                for m, s in zip(group, sites)]
+
+    def apply_one(self, match: IdiomMatch) -> AppliedTransform:
+        return self.apply_group([match])[0]
+
+
+class _SiteBuilder:
+    def __init__(self, match: IdiomMatch, function: Function,
+                 analyses: FunctionAnalyses):
+        self.match = match
+        self.function = function
+        self.analyses = analyses
+        self.loop = self._outer_loop()
+        self.preheader = self.loop.preheader()
+        if self.preheader is None or self.preheader.terminator is None:
+            raise TransformError("matched loop has no preheader")
+        exits = self.loop.exit_blocks()
+        if len(exits) != 1:
+            raise TransformError("matched loop has multiple exits")
+        self.exit_block = exits[0]
+        self.args: list[Value] = []
+        self.result_value: Value | None = None  # SSA value the call replaces
+        self._shared_escapes: list[Value] = []
+
+    # -- structure ------------------------------------------------------------
+    def _outer_loop(self) -> Loop:
+        sol = self.match.solution
+        iterator = sol.get("iterator") or sol.get("iterator[0]")
+        if not isinstance(iterator, PhiInst) or iterator.parent is None:
+            raise TransformError("match has no loop iterator phi")
+        info = LoopInfo(self.function)
+        for loop in info.loops:
+            if loop.header is iterator.parent:
+                return loop
+        raise TransformError("iterator is not a loop header phi")
+
+    def expected_result(self) -> Value | None:
+        """The SSA value this idiom's call will replace (if any)."""
+        if self.match.idiom == "Reduction":
+            return self.match.solution.get("old_value")
+        return None
+
+    def _check_escapes(self, allowed: list[Value]) -> None:
+        loop_blocks = {id(b) for b in self.loop.blocks}
+        allowed_ids = {id(v) for v in allowed}
+        allowed_ids.update(id(v) for v in self._shared_escapes)
+        for block in self.loop.blocks:
+            for inst in block.instructions:
+                if id(inst) in allowed_ids or not inst.uses:
+                    continue
+                for user in inst.users():
+                    parent = getattr(user, "parent", None)
+                    if parent is not None and id(parent) not in loop_blocks:
+                        raise TransformError(
+                            f"value {inst.ref()} escapes the matched region")
+
+    def _arg(self, value: Value) -> int:
+        """Append a call argument, verifying it's available at the site."""
+        if isinstance(value, Instruction):
+            if not self.analyses.dom.dominates(
+                    value, self.preheader.terminator):
+                raise TransformError(
+                    f"argument {value.ref()} unavailable at call site")
+        self.args.append(value)
+        return len(self.args) - 1
+
+    # -- dispatch -------------------------------------------------------------
+    def build(self, runtime: ApiRuntime,
+              allowed_escapes: list[Value] | None = None) -> ApiCallSite:
+        self._shared_escapes = list(allowed_escapes or [])
+        idiom = self.match.idiom
+        if idiom == "Reduction":
+            return self._build_reduction(runtime)
+        if idiom == "Histogram":
+            return self._build_histogram(runtime)
+        if idiom == "SPMV":
+            return self._build_spmv(runtime)
+        if idiom == "GEMM":
+            return self._build_gemm(runtime)
+        if idiom.startswith("Stencil"):
+            return self._build_stencil(runtime)
+        raise TransformError(f"no transformation for idiom {idiom!r}")
+
+    # -- shared helpers ----------------------------------------------------------
+    def _read_pointer_base(self, prefix: str) -> Value:
+        """The loop-invariant pointer the final index gep applies to."""
+        sol = self.match.solution
+        address = sol.get(f"{prefix}.address")
+        if not isinstance(address, Instruction):
+            raise TransformError(f"{prefix}: no address gep in solution")
+        return address.operands[0]
+
+    def _extractor(self, inputs: list[Value], outer_key: str = "begin",
+                   inner_key: str = "body.begin") -> KernelExtractor:
+        sol = self.match.solution
+        outer = sol[outer_key]
+        inner = sol[inner_key]
+        return KernelExtractor(self.analyses, outer, inner, inputs)
+
+    def _range_args(self, begin_key: str, end_key: str) -> tuple[int, int]:
+        sol = self.match.solution
+        return self._arg(sol[begin_key]), self._arg(sol[end_key])
+
+    # -- Reduction -----------------------------------------------------------------
+    def _build_reduction(self, runtime: ApiRuntime) -> ApiCallSite:
+        sol = self.match.solution
+        old_value = sol["old_value"]
+        self.result_value = old_value
+        self._check_escapes([old_value])
+
+        reads = self.match.family("read_value")
+        inputs = reads + [old_value]
+        extractor = self._extractor(inputs)
+        kernel = extractor.extract(sol["kernel.output"])
+        acc_index = len(reads)
+        fast = match_accumulator_form(kernel.expr, acc_index)
+
+        i_begin = self._arg(sol["iter_begin"])
+        i_end = self._arg(sol["iter_end"])
+        i_init = self._arg(sol["ind_init"])
+        cap_lo = len(self.args)
+        for cap in kernel.captures:
+            self._arg(cap)
+        cap_hi = len(self.args)
+        ptr_lo = len(self.args)
+        for i in range(len(reads)):
+            self._arg(self._read_pointer_base(f"read[{i}]"))
+
+        n_reads = len(reads)
+
+        def handler(args, interpreter, _site=[None]):
+            begin, end, init = args[i_begin], args[i_end], args[i_init]
+            caps = list(args[cap_lo:cap_hi])
+            n = max(0, int(end) - int(begin))
+            site = _site[0]
+            site.stats["calls"] = site.stats.get("calls", 0) + 1
+            site.stats["elements"] = site.stats.get("elements", 0) + n
+            site.stats["bytes"] = site.stats.get("bytes", 0) + \
+                8 * n * max(1, n_reads)
+            if n == 0:
+                return init
+            views = []
+            for p in range(n_reads):
+                pointer = args[ptr_lo + p]
+                views.append(pointer.view()[int(begin):int(end)])
+            params = views + [None]
+            if fast is not None:
+                kind, delta = fast
+                arr = evaluate(delta, params, caps)
+                arr = np.broadcast_to(np.asarray(arr), (n,))
+                if kind == "sum":
+                    return init + arr.sum()
+                if kind == "max":
+                    return max(init, arr.max())
+                return min(init, arr.min())
+            acc = init
+            for i in range(n):
+                params_i = [v[i] for v in views] + [acc]
+                acc = evaluate(kernel.expr, params_i, caps)
+            return acc
+
+        site = runtime.new_site("Reduction", "scalar_reduction", handler,
+                                f"reduction in @{self.function.name}")
+        handler.__defaults__[0][0] = site
+        site.stats["reads_per_element"] = n_reads
+        site.stats["flops_per_element"] = _expr_flops(kernel.expr)
+        return site
+
+    # -- Histogram -----------------------------------------------------------------
+    def _build_histogram(self, runtime: ApiRuntime) -> ApiCallSite:
+        sol = self.match.solution
+        self._check_escapes([])
+
+        reads = self.match.family("read_value")
+        old_value = sol["old_value"]
+        value_inputs = reads + [old_value]
+        acc_index = len(reads)
+
+        extractor = self._extractor(value_inputs)
+        value_kernel = extractor.extract(sol["kernel.output"])
+        index_kernel = extractor.extract(sol["indexkernel.output"])
+        guard = extractor.extract_guard(sol["store"])
+        fast = match_accumulator_form(value_kernel.expr, acc_index)
+
+        i_begin = self._arg(sol["iter_begin"])
+        i_end = self._arg(sol["iter_end"])
+        bin_arg = self._arg(sol["base_pointer"])
+        cap_lo = len(self.args)
+        for cap in extractor.captures:
+            self._arg(cap)
+        cap_hi = len(self.args)
+        ptr_lo = len(self.args)
+        for i in range(len(reads)):
+            self._arg(self._read_pointer_base(f"read[{i}]"))
+        n_reads = len(reads)
+
+        def handler(args, interpreter, _site=[None]):
+            begin, end = int(args[i_begin]), int(args[i_end])
+            caps = list(args[cap_lo:cap_hi])
+            bins: Pointer = args[bin_arg]
+            n = max(0, end - begin)
+            site = _site[0]
+            site.stats["calls"] = site.stats.get("calls", 0) + 1
+            site.stats["elements"] = site.stats.get("elements", 0) + n
+            site.stats["bytes"] = site.stats.get("bytes", 0) + \
+                8 * n * max(1, n_reads + 2)
+            if n == 0:
+                return None
+            views = [args[ptr_lo + p].view()[begin:end]
+                     for p in range(n_reads)]
+            params = views + [None]
+            idx = np.broadcast_to(
+                np.asarray(evaluate(index_kernel.expr, params, caps)), (n,))
+            idx = idx.astype(np.int64) + bins.offset
+            mask = None
+            if guard is not None:
+                mask = np.broadcast_to(
+                    np.asarray(evaluate(guard, params, caps)), (n,)
+                ).astype(bool)
+            data = bins.buffer.data
+            if fast is not None and fast[0] == "sum":
+                delta = np.broadcast_to(
+                    np.asarray(evaluate(fast[1], params, caps)), (n,))
+                if mask is not None:
+                    np.add.at(data, idx[mask], delta[mask])
+                else:
+                    np.add.at(data, idx, delta)
+                return None
+            for i in range(n):
+                if mask is not None and not mask[i]:
+                    continue
+                old = data[idx[i]]
+                params_i = [v[i] for v in views] + [old]
+                data[idx[i]] = evaluate(value_kernel.expr, params_i, caps)
+            return None
+
+        site = runtime.new_site("Histogram", "histogram_reduction", handler,
+                                f"histogram in @{self.function.name}")
+        handler.__defaults__[0][0] = site
+        site.stats["reads_per_element"] = n_reads
+        site.stats["flops_per_element"] = _expr_flops(value_kernel.expr) + \
+            _expr_flops(index_kernel.expr)
+        return site
+
+    # -- SPMV --------------------------------------------------------------------
+    def _build_spmv(self, runtime: ApiRuntime) -> ApiCallSite:
+        sol = self.match.solution
+        self._check_escapes([])
+        i_begin = self._arg(sol["iter_begin"])
+        i_end = self._arg(sol["iter_end"])
+        rows_arg = self._arg(sol["ranges.lo_address"].operands[0])
+        cols_arg = self._arg(self._read_pointer_base("idx_read"))
+        vals_arg = self._arg(self._read_pointer_base("seq_read"))
+        x_arg = self._arg(self._read_pointer_base("indir_read"))
+        y_arg = self._arg(sol["output.address"].operands[0])
+
+        def handler(args, interpreter, _site=[None]):
+            begin, end = int(args[i_begin]), int(args[i_end])
+            m = max(0, end - begin)
+            site = _site[0]
+            rows: Pointer = args[rows_arg]
+            row_ptr = rows.view()[begin:end + 1].astype(np.int64)
+            nnz = int(row_ptr[-1] - row_ptr[0]) if m else 0
+            site.stats["calls"] = site.stats.get("calls", 0) + 1
+            site.stats["elements"] = site.stats.get("elements", 0) + nnz
+            site.stats["rows"] = site.stats.get("rows", 0) + m
+            site.stats["bytes"] = site.stats.get("bytes", 0) + \
+                nnz * 20 + m * 12
+            if m == 0:
+                return None
+            col = args[cols_arg].view()
+            val = args[vals_arg].view()
+            x = args[x_arg].view()
+            y = args[y_arg].view()
+            y[begin:end] = sparse.csr_spmv(row_ptr, col, val, x)
+            return None
+
+        site = runtime.new_site("SPMV", "sparse_matrix_op", handler,
+                                f"csr spmv in @{self.function.name}")
+        handler.__defaults__[0][0] = site
+        site.stats["flops_per_element"] = 2
+        return site
+
+    # -- GEMM --------------------------------------------------------------------
+    def _build_gemm(self, runtime: ApiRuntime) -> ApiCallSite:
+        sol = self.match.solution
+        self._check_escapes([])
+        for key in ("loop[0].iter_begin", "loop[1].iter_begin",
+                    "loop[2].iter_begin"):
+            begin = sol[key]
+            if not (isinstance(begin, ConstantInt) and begin.value == 0):
+                raise TransformError("GEMM loops must start at zero")
+        m_arg = self._arg(sol["loop[0].iter_end"])
+        n_arg = self._arg(sol["loop[1].iter_end"])
+        k_arg = self._arg(sol["loop[2].iter_end"])
+
+        operands = {}
+        for name in ("input1", "input2", "output"):
+            operands[name] = self._gemm_operand(name)
+        alpha = sol.get("dotp.alpha")
+        beta = sol.get("dotp.beta")
+        alpha_arg = self._arg(alpha) if alpha is not None else None
+        beta_arg = self._arg(beta) if beta is not None else None
+
+        def handler(args, interpreter, _site=[None]):
+            m, n, k = int(args[m_arg]), int(args[n_arg]), int(args[k_arg])
+            site = _site[0]
+            site.stats["calls"] = site.stats.get("calls", 0) + 1
+            site.stats["elements"] = site.stats.get("elements", 0) + m * n * k
+            site.stats["bytes"] = site.stats.get("bytes", 0) + \
+                8 * (m * k + n * k + 2 * m * n)
+            al = float(args[alpha_arg]) if alpha_arg is not None else 1.0
+            be = float(args[beta_arg]) if beta_arg is not None else 0.0
+            a_eff = operands["input1"].matrix(args, k)   # [col=m, row=k]
+            b_eff = operands["input2"].matrix(args, k)   # [col=n, row=k]
+            a2, b2 = a_eff(m), b_eff(n)
+            prod = np.einsum("ik,jk->ij", a2, b2)
+            operands["output"].write(args, m, n, al, be, prod)
+            return None
+
+        site = runtime.new_site("GEMM", "matrix_op", handler,
+                                f"gemm in @{self.function.name}")
+        handler.__defaults__[0][0] = site
+        site.stats["flops_per_element"] = 2
+        return site
+
+    def _gemm_operand(self, name: str) -> "_GemmOperand":
+        sol = self.match.solution
+        if f"{name}.flat_idx" in sol:
+            base = sol[f"{name}.address"].operands[0]
+            base_arg = self._arg(base)
+            ld_arg = self._arg(sol[f"{name}.ld"])
+            return _GemmOperand("flat", base_arg, ld_arg, None,
+                                name == "output")
+        # Nested-array form: orientation from which index equals `col`.
+        outer_gep = sol[f"{name}.outer_gep"]
+        base = outer_gep.operands[0]
+        base_arg = self._arg(base)
+        pointee = base.type.pointee
+        if not isinstance(pointee, ArrayType) or \
+                not isinstance(pointee.element, ArrayType):
+            # argument of type [C x T]* — a row-major 2-D array parameter
+            cols = pointee.count if isinstance(pointee, ArrayType) else None
+        else:
+            cols = pointee.element.count
+        if cols is None:
+            raise TransformError(f"{name}: cannot determine 2-D layout")
+        # The operand's `col` binding was renamed to the GEMM iterator
+        # (Figure 10): iterator[0] for input1/output, iterator[1] for
+        # input2. Orientation = whether the first subscript is that value.
+        col_key = "iterator[1]" if name == "input2" else "iterator[0]"
+        col_binding = sol[col_key]
+        first_idx = sol[f"{name}.first_idx"]
+        col_first = first_idx is col_binding
+        return _GemmOperand("2d", base_arg, None,
+                            (cols, col_first), name == "output")
+
+    # -- Stencil ---------------------------------------------------------------------
+    def _build_stencil(self, runtime: ApiRuntime) -> ApiCallSite:
+        sol = self.match.solution
+        self._check_escapes([])
+        dims = {"Stencil1D": 1, "Stencil2D": 2, "Stencil3D": 3}[
+            self.match.idiom]
+        if dims == 1:
+            range_keys = [("iter_begin", "iter_end")]
+            inner_key = "body.begin"
+        else:
+            range_keys = [(f"loop[{d}].iter_begin", f"loop[{d}].iter_end")
+                          for d in range(dims)]
+            inner_key = f"loop[{dims - 1}].body.begin"
+        ranges = [self._range_args(b, e) for b, e in range_keys]
+
+        reads = self.match.family("kernel.input")
+        offsets = self.match.stencil_offsets()
+        extractor = self._extractor(
+            reads, outer_key="begin" if dims == 1 else "loop[0].begin",
+            inner_key=inner_key)
+        kernel = extractor.extract(sol["kernel.output"])
+
+        write_base = sol["write.address"].operands[0] if dims == 1 else \
+            sol[f"write.{'outer_gep' if dims == 2 else 'gep1'}"].operands[0]
+        write_arg = self._arg(write_base)
+        write_shape = _array_shape(write_base, dims)
+
+        cap_lo = len(self.args)
+        for cap in kernel.captures:
+            self._arg(cap)
+        cap_hi = len(self.args)
+        read_info = []
+        for i in range(len(reads)):
+            if dims == 1:
+                base = self.match.solution[f"reads[{i}].address"].operands[0]
+            elif dims == 2:
+                base = self.match.solution[f"reads[{i}].outer_gep"].operands[0]
+            else:
+                base = self.match.solution[f"reads[{i}].gep1"].operands[0]
+            read_info.append((self._arg(base), offsets[i],
+                              _array_shape(base, dims)))
+
+        def handler(args, interpreter, _site=[None]):
+            bounds = [(int(args[b]), int(args[e])) for b, e in ranges]
+            sizes = [max(0, e - b) for b, e in bounds]
+            n = int(np.prod(sizes)) if sizes else 0
+            site = _site[0]
+            site.stats["calls"] = site.stats.get("calls", 0) + 1
+            site.stats["elements"] = site.stats.get("elements", 0) + n
+            site.stats["bytes"] = site.stats.get("bytes", 0) + \
+                8 * n * (len(read_info) + 1)
+            if n == 0:
+                return None
+            caps = list(args[cap_lo:cap_hi])
+            views = []
+            for arg_index, offset, shape in read_info:
+                arr = _shaped(args[arg_index], shape)
+                slices = tuple(
+                    slice(b + o, e + o)
+                    for (b, e), o in zip(bounds, offset))
+                views.append(arr[slices])
+            result = evaluate(kernel.expr, views, caps)
+            out = _shaped(args[write_arg], write_shape)
+            out_slices = tuple(slice(b, e) for b, e in bounds)
+            out[out_slices] = result
+            return None
+
+        site = runtime.new_site(self.match.idiom, "stencil", handler,
+                                f"{dims}-D stencil in @{self.function.name}")
+        handler.__defaults__[0][0] = site
+        site.stats["reads_per_element"] = len(read_info)
+        site.stats["flops_per_element"] = _expr_flops(kernel.expr)
+        return site
+
+    # -- rewiring ---------------------------------------------------------------------
+    def insert_call(self, site: ApiCallSite) -> None:
+        """Insert the API call; route the idiom's result to its users."""
+        ret_type = VOID if self.result_value is None else \
+            self.result_value.type
+        call = CallInst(site.callee, self.args, ret_type)
+        if not ret_type.is_void():
+            call.name = self.function.unique_name("apiresult")
+        term = self.preheader.terminator
+        self.preheader.insert(term.index_in_block(), call)
+
+        if self.result_value is not None:
+            loop_blocks = {id(b) for b in self.loop.blocks}
+            for use in list(self.result_value.uses):
+                parent = getattr(use.user, "parent", None)
+                if parent is not None and id(parent) not in loop_blocks:
+                    use.user.set_operand(use.index, call)
+
+    def bypass_loop(self) -> None:
+        """Retarget the preheader branch from the loop header to the exit."""
+        term = self.preheader.terminator
+        for i, op in enumerate(term.operands):
+            if op is self.loop.header:
+                term.set_operand(i, self.exit_block)
+
+    def rewire(self, site: ApiCallSite) -> None:
+        self.insert_call(site)
+        self.bypass_loop()
+
+
+@dataclass
+class _GemmOperand:
+    form: str  # 'flat' | '2d'
+    base_arg: int
+    ld_arg: int | None
+    layout: tuple | None  # (cols, col_first) for 2d
+    is_output: bool
+
+    def matrix(self, args, k: int):
+        """Returns fn(extent) -> 2-D array indexed [out_index, contraction]."""
+        pointer: Pointer = args[self.base_arg]
+        if self.form == "flat":
+            ld = int(args[self.ld_arg])
+
+            def eff(extent: int):
+                flat = pointer.view(ld * k)
+                return np.reshape(flat, (k, ld))[:, :extent].T
+            return eff
+        cols, col_first = self.layout
+
+        def eff(extent: int):
+            arr = _shaped(pointer, (None, cols))
+            if col_first:
+                return arr[:extent, :k]
+            return arr[:k, :extent].T
+        return eff
+
+    def write(self, args, m: int, n: int, alpha: float, beta: float,
+              prod: np.ndarray) -> None:
+        pointer: Pointer = args[self.base_arg]
+        if self.form == "flat":
+            ld = int(args[self.ld_arg])
+            view = np.reshape(pointer.view(ld * n), (n, ld))
+            view[:, :m] = beta * view[:, :m] + alpha * prod.T
+            return
+        cols, col_first = self.layout
+        arr = _shaped(pointer, (None, cols))
+        if col_first:
+            arr[:m, :n] = beta * arr[:m, :n] + alpha * prod
+        else:
+            arr[:n, :m] = beta * arr[:n, :m] + alpha * prod.T
+
+
+def _shaped(pointer: Pointer, shape: tuple) -> np.ndarray:
+    """Reshape a pointer's underlying data to the given trailing shape."""
+    data = pointer.view()
+    trailing = [d for d in shape[1:] if d is not None]
+    inner = int(np.prod(trailing)) if trailing else 1
+    rows = data.size // inner
+    return np.reshape(data[:rows * inner], (rows, *trailing))
+
+
+def _array_shape(base: Value, dims: int) -> tuple:
+    """Static array extents of a stencil operand (trailing dims known)."""
+    ty = base.type
+    if not isinstance(ty, PointerType):
+        raise TransformError("stencil base is not a pointer")
+    extents: list = []
+    current = ty.pointee
+    while isinstance(current, ArrayType):
+        extents.append(current.count)
+        current = current.element
+    if dims == 1:
+        return (None,)
+    if len(extents) < dims:
+        raise TransformError("stencil operand has too few dimensions")
+    return (None, *extents[-(dims - 1):]) if len(extents) == dims - 1 else \
+        (None, *extents[1:dims])
+
+
+def _expr_flops(expr) -> int:
+    from .kernels import KBin, KCall, KCast, KCmp, KSelect
+
+    if isinstance(expr, KBin):
+        return 1 + _expr_flops(expr.lhs) + _expr_flops(expr.rhs)
+    if isinstance(expr, KCmp):
+        return 1 + _expr_flops(expr.lhs) + _expr_flops(expr.rhs)
+    if isinstance(expr, KSelect):
+        return 1 + sum(_expr_flops(e) for e in
+                       (expr.cond, expr.on_true, expr.on_false))
+    if isinstance(expr, KCast):
+        return _expr_flops(expr.operand)
+    if isinstance(expr, KCall):
+        return 4 + sum(_expr_flops(a) for a in expr.args)
+    return 0

@@ -1,0 +1,15 @@
+"""NAS and Parboil workload recreations (21 benchmarks)."""
+
+from .suite import (
+    Workload,
+    all_workloads,
+    dominant_workloads,
+    expected_totals,
+    get_workload,
+    register,
+)
+
+__all__ = [
+    "Workload", "all_workloads", "dominant_workloads", "expected_totals",
+    "get_workload", "register",
+]

@@ -1,0 +1,627 @@
+"""Parboil benchmark recreations (sequential C base versions, reduced scale).
+
+Same discipline as :mod:`repro.workloads.nas`: each source reproduces the
+original benchmark's idiom structure — sgemm is the paper's Figure 8 GEMM,
+spmv its Figure 4 loop, stencil a 7-point 3-D Jacobi — inside realistic
+driver code that must not match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .suite import Workload, register
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# ---------------------------------------------------------------------------
+# bfs — breadth-first search: frontier expansion with indirect writes
+# (unmatched) plus one conditional visited-count reduction.
+# ---------------------------------------------------------------------------
+
+BFS_SOURCE = """
+void expand(int nodes, int *row, int *col, int *cost, int level) {
+  for (int u = 0; u < nodes; u++) {
+    if (cost[u] == level) {
+      for (int e = row[u]; e < row[u+1]; e++) {
+        int v = col[e];
+        int cv = cost[v];
+        if (cv < 0)
+          cost[v] = level + 1;
+      }
+    }
+  }
+}
+
+int visited_count(int nodes, int *cost) {
+  int c = 0;
+  for (int u = 0; u < nodes; u++)
+    c += cost[u] >= 0 ? 1 : 0;
+  return c;
+}
+
+int run(int nodes, int levels, int *row, int *col, int *cost) {
+  for (int l = 0; l < levels; l++)
+    expand(nodes, row, col, cost, l);
+  return visited_count(nodes, cost);
+}
+"""
+
+
+def _bfs_inputs(scale: int) -> dict:
+    nodes = 600 * scale
+    rng = _rng(30)
+    degree = 6
+    row = np.arange(0, nodes * degree + 1, degree, dtype=np.int32)
+    col = rng.integers(0, nodes, nodes * degree, dtype=np.int32)
+    cost = np.full(nodes, -1, dtype=np.int32)
+    cost[0] = 0
+    return {"nodes": nodes, "levels": 4, "row": row, "col": col,
+            "cost": cost}
+
+
+register(Workload(
+    name="bfs", suite="Parboil", source=BFS_SOURCE, entry="run",
+    make_inputs=_bfs_inputs,
+    expected={"scalar_reduction": 1},
+    dominant=False, paper_coverage=14.0))
+
+
+# ---------------------------------------------------------------------------
+# cutcp — cutoff coulombic potential: grid accumulation with distance
+# guards (unmatched scatter) plus one simple energy reduction.
+# ---------------------------------------------------------------------------
+
+CUTCP_SOURCE = """
+void spread(int atoms, int gdim, double *ax, double *ay, double *charge,
+            double *wtab, double *grid) {
+  for (int a = 0; a < atoms; a++) {
+    double x = ax[a];
+    double y = ay[a];
+    double q = charge[a];
+    int gx = (int) x;
+    int gy = (int) y;
+    for (int dx = 0; dx < 4; dx++) {
+      for (int dy = 0; dy < 4; dy++) {
+        int ix = gx + dx;
+        int iy = gy + dy;
+        double rx = x - (double) ix;
+        double ry = y - (double) iy;
+        double r2 = rx*rx + ry*ry;
+        if (r2 < 4.0) {
+          int cell = ix * gdim + iy;
+          int slot = (int) (r2 * 4.0);
+          grid[cell] = grid[cell] + q * wtab[slot];
+        }
+      }
+    }
+  }
+}
+
+double energy(int cells, double *grid) {
+  double e = 0.0;
+  for (int i = 0; i < cells; i++)
+    e += grid[i];
+  return e;
+}
+
+double run(int atoms, int gdim, double *ax, double *ay, double *charge,
+           double *wtab, double *grid) {
+  spread(atoms, gdim, ax, ay, charge, wtab, grid);
+  return energy(gdim * gdim, grid);
+}
+"""
+
+
+def _cutcp_inputs(scale: int) -> dict:
+    atoms = 300 * scale
+    gdim = 40
+    rng = _rng(31)
+    return {"atoms": atoms, "gdim": gdim,
+            "ax": rng.uniform(0, gdim - 5, atoms),
+            "ay": rng.uniform(0, gdim - 5, atoms),
+            "charge": rng.uniform(-1, 1, atoms),
+            "wtab": np.linspace(1.0, 0.0, 16),
+            "grid": np.zeros(gdim * gdim)}
+
+
+register(Workload(
+    name="cutcp", suite="Parboil", source=CUTCP_SOURCE, entry="run",
+    make_inputs=_cutcp_inputs,
+    expected={"scalar_reduction": 1},
+    dominant=False, paper_coverage=10.0))
+
+
+# ---------------------------------------------------------------------------
+# histo — the saturating image histogram benchmark: the histogram IS the
+# program (coverage ~95%).
+# ---------------------------------------------------------------------------
+
+HISTO_SOURCE = """
+void histo_kernel(int n, int *img, int *bins) {
+  for (int i = 0; i < n; i++)
+    bins[img[i]] = bins[img[i]] + 1;
+}
+
+int run(int n, int reps, int nbins, int *img, int *bins) {
+  for (int r = 0; r < reps; r++)
+    histo_kernel(n, img, bins);
+  return bins[0] + bins[nbins - 1];
+}
+"""
+
+
+def _histo_inputs(scale: int) -> dict:
+    n = 3000 * scale
+    nbins = 256
+    rng = _rng(32)
+    return {"n": n, "reps": 3, "nbins": nbins,
+            "img": rng.integers(0, nbins, n, dtype=np.int32),
+            "bins": np.zeros(nbins, dtype=np.int32)}
+
+
+register(Workload(
+    name="histo", paper_scale=120.0, suite="Parboil", source=HISTO_SOURCE, entry="run",
+    make_inputs=_histo_inputs,
+    expected={"histogram_reduction": 1},
+    dominant=True, paper_coverage=95.0,
+    paper_speedup=1.26, paper_platform="igpu"))
+
+
+# ---------------------------------------------------------------------------
+# lbm — lattice-Boltzmann: two 3-D stencil sweeps (collide + stream) over
+# constant-size grids, iterated over time steps.
+# ---------------------------------------------------------------------------
+
+LBM_SOURCE = """
+#define D 14
+
+double src[D][D][D];
+double dst[D][D][D];
+double rho[D][D][D];
+
+void seed_grid(double *seed) {
+  for (int i = 0; i < D; i++)
+    for (int j = 0; j < D; j++)
+      for (int k = 0; k < D; k++) {
+        src[i][j][k] = seed[(i*D+j)*D+k];
+        dst[i][j][k] = 0.0;
+        rho[i][j][k] = 0.0;
+      }
+}
+
+void collide() {
+  for (int i = 1; i < D - 1; i++)
+    for (int j = 1; j < D - 1; j++)
+      for (int k = 1; k < D - 1; k++)
+        dst[i][j][k] = 0.6 * src[i][j][k]
+          + 0.0666 * (src[i-1][j][k] + src[i+1][j][k]
+                      + src[i][j-1][k] + src[i][j+1][k]
+                      + src[i][j][k-1] + src[i][j][k+1]);
+}
+
+void stream() {
+  for (int i = 1; i < D - 1; i++)
+    for (int j = 1; j < D - 1; j++)
+      for (int k = 1; k < D - 1; k++)
+        rho[i][j][k] = dst[i][j][k]
+          + 0.125 * (dst[i-1][j][k] - dst[i+1][j][k])
+          + 0.125 * (dst[i][j-1][k] - dst[i][j+1][k])
+          + 0.0625 * (dst[i][j][k-1] - dst[i][j][k+1])
+          + 0.03 * (dst[i-1][j-1][k] + dst[i+1][j+1][k]);
+}
+
+void copy_back() {
+  for (int i = 0; i < D; i++)
+    for (int j = 0; j < D; j++)
+      for (int k = 0; k < D; k++)
+        src[i][j][k] = rho[i][j][k];
+}
+
+double run(int steps, double *seed) {
+  seed_grid(seed);
+  for (int t = 0; t < steps; t++) {
+    collide();
+    stream();
+    copy_back();
+  }
+  return src[D/2][D/2][D/2];
+}
+"""
+
+
+def _lbm_inputs(scale: int) -> dict:
+    d = 14
+    rng = _rng(33)
+    return {"steps": 6, "seed": rng.uniform(0.5, 1.5, d * d * d)}
+
+
+register(Workload(
+    name="lbm", paper_scale=30000.0, suite="Parboil", source=LBM_SOURCE, entry="run",
+    make_inputs=_lbm_inputs,
+    expected={"stencil": 2},
+    dominant=True, paper_coverage=90.0,
+    paper_speedup=10.9, paper_platform="gpu"))
+
+
+# ---------------------------------------------------------------------------
+# mri-g — MRI gridding: scatter interpolation (unmatched) plus one
+# gridding-weight reduction with trig calls.
+# ---------------------------------------------------------------------------
+
+MRI_G_SOURCE = """
+void gridding(int samples, int gdim, int *order, double *kx,
+              double *kval, double *grid) {
+  for (int s = 0; s < samples; s++) {
+    double pos = kx[order[s]];
+    int cell = (int) pos;
+    double w = pos - (double) cell;
+    int c0 = cell % (gdim - 1);
+    grid[c0] = grid[c0] + kval[s] * (1.0 - w);
+    grid[c0 + 1] = grid[c0 + 1] + kval[s] * w;
+  }
+}
+
+double weight_sum(int samples, double *kx, double *kval) {
+  double s = 0.0;
+  for (int i = 0; i < samples; i++)
+    s += kval[i] * cos(kx[i] * 0.1);
+  return s;
+}
+
+double run(int samples, int gdim, int *order, double *kx, double *kval,
+           double *grid) {
+  gridding(samples, gdim, order, kx, kval, grid);
+  gridding(samples, gdim, order, kval, kx, grid);
+  return weight_sum(samples, kx, kval);
+}
+"""
+
+
+def _mri_g_inputs(scale: int) -> dict:
+    samples = 700 * scale
+    gdim = 128
+    rng = _rng(34)
+    return {"samples": samples, "gdim": gdim,
+            "order": rng.permutation(samples).astype(np.int32),
+            "kx": rng.uniform(0, gdim - 2, samples),
+            "kval": rng.uniform(-1, 1, samples),
+            "grid": np.zeros(gdim)}
+
+
+register(Workload(
+    name="mri-g", suite="Parboil", source=MRI_G_SOURCE, entry="run",
+    make_inputs=_mri_g_inputs,
+    expected={"scalar_reduction": 1},
+    dominant=False, paper_coverage=18.0))
+
+
+# ---------------------------------------------------------------------------
+# mri-q — MRI Q computation: phase accumulation over sample points; the
+# driver's per-voxel phase computation dominates (unmatched).
+# ---------------------------------------------------------------------------
+
+MRI_Q_SOURCE = """
+void compute_phi(int voxels, int samples, int *sidx, double *x,
+                 double *kx, double *phi) {
+  for (int v = 0; v < voxels; v++) {
+    double acc = 0.0;
+    double pos = x[v];
+    for (int s = 0; s < samples; s++) {
+      double arg = 6.2831853 * kx[sidx[s]] * pos;
+      acc = acc + arg * arg * 1.0e-4;
+    }
+    phi[v] = acc;
+  }
+}
+
+double q_real(int voxels, double *phi, double *mag) {
+  double q = 0.0;
+  for (int v = 0; v < voxels; v++)
+    q += mag[v] * cos(phi[v]);
+  return q;
+}
+
+double run(int voxels, int samples, int *sidx, double *x, double *kx,
+           double *phi, double *mag) {
+  compute_phi(voxels, samples, sidx, x, kx, phi);
+  return q_real(voxels, phi, mag);
+}
+"""
+
+
+def _mri_q_inputs(scale: int) -> dict:
+    voxels = 120 * scale
+    samples = 90
+    rng = _rng(35)
+    return {"voxels": voxels, "samples": samples,
+            "sidx": rng.permutation(samples).astype(np.int32),
+            "x": rng.uniform(-1, 1, voxels),
+            "kx": rng.uniform(-1, 1, samples),
+            "phi": np.zeros(voxels),
+            "mag": rng.uniform(0, 1, voxels)}
+
+
+register(Workload(
+    name="mri-q", suite="Parboil", source=MRI_Q_SOURCE, entry="run",
+    make_inputs=_mri_q_inputs,
+    expected={"scalar_reduction": 1},
+    dominant=False, paper_coverage=20.0))
+
+
+# ---------------------------------------------------------------------------
+# sad — sum of absolute differences: block-search loops over shifted
+# windows (unmatched: runtime offsets) plus one frame-level SAD reduction.
+# ---------------------------------------------------------------------------
+
+SAD_SOURCE = """
+void block_sad(int blocks, int bsize, int *cur, int *ref, int *sads) {
+  for (int b = 0; b < blocks; b++) {
+    int base = b * bsize;
+    int total = 0;
+    for (int off = 0; off < 8; off++) {
+      int acc = 0;
+      for (int i = 0; i < bsize; i++) {
+        int d = cur[base + i] - ref[base + i + off];
+        acc = acc + (d > 0 ? d : -d);
+      }
+      total = total + acc;
+    }
+    sads[b] = total;
+  }
+}
+
+double frame_sad(int n, int *cur, int *ref) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) {
+    int d = cur[i] - ref[i];
+    s += (double) (d > 0 ? d : -d);
+  }
+  return s;
+}
+
+double run(int blocks, int bsize, int *cur, int *ref, int *sads) {
+  block_sad(blocks, bsize, cur, ref, sads);
+  return frame_sad(blocks * bsize, cur, ref);
+}
+"""
+
+
+def _sad_inputs(scale: int) -> dict:
+    blocks = 40 * scale
+    bsize = 36
+    rng = _rng(36)
+    n = blocks * bsize + 16
+    return {"blocks": blocks, "bsize": bsize,
+            "cur": rng.integers(0, 256, n, dtype=np.int32),
+            "ref": rng.integers(0, 256, n, dtype=np.int32),
+            "sads": np.zeros(blocks, dtype=np.int32)}
+
+
+register(Workload(
+    name="sad", suite="Parboil", source=SAD_SOURCE, entry="run",
+    make_inputs=_sad_inputs,
+    expected={"scalar_reduction": 1},
+    dominant=False, paper_coverage=22.0))
+
+
+# ---------------------------------------------------------------------------
+# sgemm — the paper's Figure 8 dense matrix multiply (flat layout with
+# leading dimensions, alpha/beta update). Coverage ~99%.
+# ---------------------------------------------------------------------------
+
+SGEMM_SOURCE = """
+void sgemm_kernel(int m, int n, int k, double *A, int lda, double *B,
+                  int ldb, double *C, int ldc, double alpha, double beta) {
+  for (int mm = 0; mm < m; mm++) {
+    for (int nn = 0; nn < n; nn++) {
+      double c = 0.0;
+      for (int i = 0; i < k; i++) {
+        double a = A[mm + i * lda];
+        double b = B[nn + i * ldb];
+        c += a * b;
+      }
+      C[mm + nn * ldc] = C[mm + nn * ldc] * beta + alpha * c;
+    }
+  }
+}
+
+double run(int m, int n, int k, double *A, double *B, double *C,
+           double alpha, double beta) {
+  sgemm_kernel(m, n, k, A, m, B, n, C, m, alpha, beta);
+  return C[0];
+}
+"""
+
+
+def _sgemm_inputs(scale: int) -> dict:
+    m = n = 20 * scale
+    k = 20 * scale
+    rng = _rng(37)
+    return {"m": m, "n": n, "k": k,
+            "A": rng.uniform(-1, 1, m * k),
+            "B": rng.uniform(-1, 1, n * k),
+            "C": rng.uniform(-1, 1, m * n),
+            "alpha": 1.5, "beta": 0.5}
+
+
+register(Workload(
+    name="sgemm", paper_scale=250000.0, suite="Parboil", source=SGEMM_SOURCE, entry="run",
+    make_inputs=_sgemm_inputs,
+    expected={"matrix_op": 1},
+    dominant=True, paper_coverage=99.0,
+    paper_speedup=275.0, paper_platform="gpu"))
+
+
+# ---------------------------------------------------------------------------
+# spmv — Parboil's JDS-format kernel, recreated (as the paper notes via
+# its custom libSPMV) in CSR form: the Figure 4 loop plus input setup.
+# ---------------------------------------------------------------------------
+
+SPMV_SOURCE = """
+void spmv_kernel(int m, double *val, int *rowptr, int *colidx, double *x,
+                 double *y) {
+  for (int j = 0; j < m; j++) {
+    double d = 0.0;
+    for (int k = rowptr[j]; k < rowptr[j+1]; k++)
+      d = d + val[k] * x[colidx[k]];
+    y[j] = d;
+  }
+}
+
+double run(int m, int reps, double *val, int *rowptr, int *colidx,
+           double *x, double *y) {
+  for (int r = 0; r < reps; r++)
+    spmv_kernel(m, val, rowptr, colidx, x, y);
+  return y[0];
+}
+"""
+
+
+def _spmv_inputs(scale: int) -> dict:
+    from ..backends.sparse import random_csr
+
+    m = 260 * scale
+    rp, ci, vals = random_csr(m, m, 9, seed=38)
+    rng = _rng(39)
+    return {"m": m, "reps": 3, "val": vals, "rowptr": rp, "colidx": ci,
+            "x": rng.uniform(-1, 1, m), "y": np.zeros(m)}
+
+
+register(Workload(
+    name="spmv", paper_scale=4000.0, suite="Parboil", source=SPMV_SOURCE, entry="run",
+    make_inputs=_spmv_inputs,
+    expected={"sparse_matrix_op": 1},
+    dominant=True, paper_coverage=96.0,
+    paper_speedup=11.8, paper_platform="gpu"))
+
+
+# ---------------------------------------------------------------------------
+# stencil — 7-point 3-D Jacobi on a constant-size grid, iterated.
+# ---------------------------------------------------------------------------
+
+STENCIL_SOURCE = """
+#define S 20
+
+double a0[S][S][S];
+double a1[S][S][S];
+
+void seed_grid(double *seed) {
+  for (int i = 0; i < S; i++)
+    for (int j = 0; j < S; j++)
+      for (int k = 0; k < S; k++) {
+        a0[i][j][k] = seed[(i*S+j)*S+k];
+        a1[i][j][k] = 0.0;
+      }
+}
+
+void jacobi13() {
+  for (int i = 2; i < S - 2; i++)
+    for (int j = 2; j < S - 2; j++)
+      for (int k = 2; k < S - 2; k++)
+        a1[i][j][k] = 0.76 * a0[i][j][k]
+          + 0.0333 * (a0[i-1][j][k] + a0[i+1][j][k] + a0[i][j-1][k]
+                      + a0[i][j+1][k] + a0[i][j][k-1] + a0[i][j][k+1])
+          + 0.0066 * (a0[i-2][j][k] + a0[i+2][j][k] + a0[i][j-2][k]
+                      + a0[i][j+2][k] + a0[i][j][k-2] + a0[i][j][k+2]);
+}
+
+void swap_grids() {
+  for (int i = 0; i < S; i++)
+    for (int j = 0; j < S; j++)
+      for (int k = 0; k < S; k++)
+        a0[i][j][k] = a1[i][j][k];
+}
+
+double run(int steps, double *seed) {
+  seed_grid(seed);
+  for (int t = 0; t < steps; t++) {
+    jacobi13();
+    swap_grids();
+  }
+  return a0[S/2][S/2][S/2];
+}
+"""
+
+
+def _stencil_inputs(scale: int) -> dict:
+    s = 20
+    rng = _rng(40)
+    return {"steps": 8, "seed": rng.uniform(0, 1, s * s * s)}
+
+
+register(Workload(
+    name="stencil", paper_scale=30000.0, suite="Parboil", source=STENCIL_SOURCE, entry="run",
+    make_inputs=_stencil_inputs,
+    expected={"stencil": 1},
+    dominant=True, paper_coverage=95.0,
+    paper_speedup=8.0, paper_platform="gpu"))
+
+
+# ---------------------------------------------------------------------------
+# tpacf — two-point angular correlation: pairwise distance histogram
+# (dominant) plus two data-quality reductions.
+# ---------------------------------------------------------------------------
+
+TPACF_SOURCE = """
+void correlate(int n, int nbins, double *x, double *y, double *z,
+               int *bins) {
+  for (int i = 0; i < n; i++) {
+    double xi = x[i];
+    double yi = y[i];
+    double zi = z[i];
+    for (int j = 0; j < n; j++) {
+      double d = xi*x[j] + yi*y[j] + zi*z[j];
+      double clamped = fmin(fmax(d, -1.0), 1.0);
+      int bin = (int) ((clamped + 1.0) * 0.5 * (double)(nbins - 1));
+      bins[bin] = bins[bin] + 1;
+    }
+  }
+}
+
+double norm_check(int n, double *x, double *y, double *z) {
+  double worst = 0.0;
+  for (int i = 0; i < n; i++) {
+    double m = x[i]*x[i] + y[i]*y[i] + z[i]*z[i];
+    double err = fabs(m - 1.0);
+    worst = err > worst ? err : worst;
+  }
+  return worst;
+}
+
+double mean_z(int n, double *z) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++)
+    s += fabs(z[i]);
+  return s;
+}
+
+double run(int n, int nbins, double *x, double *y, double *z, int *bins) {
+  correlate(n, nbins, x, y, z, bins);
+  double a = norm_check(n, x, y, z);
+  double b = mean_z(n, z);
+  return a + b;
+}
+"""
+
+
+def _tpacf_inputs(scale: int) -> dict:
+    n = 70 * scale
+    rng = _rng(41)
+    v = rng.normal(size=(3, n))
+    v /= np.linalg.norm(v, axis=0)
+    return {"n": n, "nbins": 32,
+            "x": v[0].copy(), "y": v[1].copy(), "z": v[2].copy(),
+            "bins": np.zeros(32, dtype=np.int32)}
+
+
+register(Workload(
+    name="tpacf", paper_scale=30000.0, suite="Parboil", source=TPACF_SOURCE, entry="run",
+    make_inputs=_tpacf_inputs,
+    expected={"scalar_reduction": 2, "histogram_reduction": 1},
+    dominant=True, paper_coverage=100.0,
+    paper_speedup=1.9, paper_platform="cpu",
+    reference_rewrites_algorithm=True))

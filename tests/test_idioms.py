@@ -1,0 +1,308 @@
+"""Detection tests for the five idiom classes (paper §4, Figures 8-14)."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.idioms import detect_idioms, library_line_count
+from repro.ir import parse_module
+from repro.passes import optimize
+
+
+def detect(src):
+    m = compile_c(src)
+    optimize(m)
+    return detect_idioms(m)
+
+
+class TestReduction:
+    def test_dot_product(self):
+        r = detect("""
+double dotp(int n, double *x, double *y) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) s += x[i] * y[i];
+  return s;
+}
+""")
+        assert r.by_idiom() == {"Reduction": 1}
+
+    def test_max_reduction_via_ternary(self):
+        r = detect("""
+double vmax(int n, double *x) {
+  double best = 0.0;
+  for (int i = 0; i < n; i++)
+    best = x[i] > best ? x[i] : best;
+  return best;
+}
+""")
+        assert r.by_idiom() == {"Reduction": 1}
+
+    def test_conditional_reduction(self):
+        r = detect("""
+double csum(int n, double *x) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) {
+    if (x[i] > 0.0) s += x[i];
+  }
+  return s;
+}
+""")
+        assert r.by_idiom() == {"Reduction": 1}
+
+    def test_two_accumulators_two_instances(self):
+        r = detect("""
+double two(int n, double *x, double *y) {
+  double a = 0.0;
+  double b = 0.0;
+  for (int i = 0; i < n; i++) {
+    a += x[i];
+    b += y[i] * y[i];
+  }
+  return a + b;
+}
+""")
+        assert r.by_idiom() == {"Reduction": 2}
+
+    def test_int_reduction(self):
+        r = detect("""
+int isum(int n, int *x) {
+  int s = 0;
+  for (int i = 0; i < n; i++) s += x[i];
+  return s;
+}
+""")
+        assert r.by_idiom() == {"Reduction": 1}
+
+    def test_map_is_not_reduction(self):
+        r = detect("""
+void scale(int n, double *x) {
+  for (int i = 0; i < n; i++) x[i] = x[i] * 2.0;
+}
+""")
+        assert r.total() == 0
+
+
+class TestHistogram:
+    def test_plain_histogram(self):
+        r = detect("""
+void h(int n, int *key, int *bin) {
+  for (int i = 0; i < n; i++)
+    bin[key[i]] = bin[key[i]] + 1;
+}
+""")
+        assert r.by_idiom() == {"Histogram": 1}
+
+    def test_weighted_histogram(self):
+        r = detect("""
+void h(int n, int *g, double *v, double *acc) {
+  for (int i = 0; i < n; i++)
+    acc[g[i]] = acc[g[i]] + v[i];
+}
+""")
+        assert r.by_idiom() == {"Histogram": 1}
+
+    def test_iterator_indexed_update_is_not_histogram(self):
+        # z[i] += x[i] is a map (injective index) — paper's daxpy loops
+        # in CG must not be reported as histograms.
+        r = detect("""
+void axpy(int n, double a, double *x, double *z) {
+  for (int i = 0; i < n; i++)
+    z[i] = z[i] + a * x[i];
+}
+""")
+        assert r.by_idiom().get("Histogram") is None
+
+
+class TestSPMV:
+    PAPER_FIG4 = """
+void spmv(int m, double *a, int *rowstr, int *colidx, double *z, double *r) {
+  for (int j = 0; j < m; j++) {
+    double d = 0.0;
+    for (int k = rowstr[j]; k < rowstr[j+1]; k++)
+      d = d + a[k] * z[colidx[k]];
+    r[j] = d;
+  }
+}
+"""
+
+    def test_figure4_detected(self):
+        r = detect(self.PAPER_FIG4)
+        assert r.by_idiom() == {"SPMV": 1}
+
+    def test_figure5_variable_assignment(self):
+        r = detect(self.PAPER_FIG4)
+        sol = r.matches[0].solution
+        # The paper's Figure 5 table (semantic names).
+        assert sol["idx_read.base_pointer"].name == "colidx"
+        assert sol["seq_read.base_pointer"].name == "a"
+        assert sol["indir_read.base_pointer"].name == "z"
+        assert sol["output.address"].opcode == "gep"
+
+    def test_inner_reduction_subsumed(self):
+        r = detect(self.PAPER_FIG4)
+        assert "Reduction" not in r.by_idiom()
+
+    def test_figure4_ir_with_sext(self):
+        """The paper's literal IR shape, including sign extensions."""
+        text = """
+define void @spmv(i64 %m, double* %a, i32* %rowstr, i32* %colidx, double* %z, double* %r) {
+entry:
+  br label %outer
+outer:
+  %j = phi i64 [ %j_next, %exit_inner ], [ 0, %entry ]
+  %j_cond = icmp slt i64 %j, %m
+  br i1 %j_cond, label %outer_body, label %done
+outer_body:
+  %4 = gep i32* %rowstr, i64 %j
+  %5 = load i32, i32* %4
+  %j_next = add i64 %j, 1
+  %6 = gep i32* %rowstr, i64 %j_next
+  %7 = load i32, i32* %6
+  %k_begin = sext i32 %5 to i64
+  %k_end = sext i32 %7 to i64
+  br label %inner
+inner:
+  %k = phi i64 [ %k_next, %inner_body ], [ %k_begin, %outer_body ]
+  %d = phi double [ 0.0, %outer_body ], [ %d_next, %inner_body ]
+  %k_cond = icmp slt i64 %k, %k_end
+  br i1 %k_cond, label %inner_body, label %exit_inner
+inner_body:
+  %a_addr = gep double* %a, i64 %k
+  %a_load = load double, double* %a_addr
+  %cix_addr = gep i32* %colidx, i64 %k
+  %cix_load = load i32, i32* %cix_addr
+  %10 = sext i32 %cix_load to i64
+  %z_addr = gep double* %z, i64 %10
+  %z_load = load double, double* %z_addr
+  %11 = fmul double %a_load, %z_load
+  %d_next = fadd double %d, %11
+  %k_next = add i64 %k, 1
+  br label %inner
+exit_inner:
+  %r_addr = gep double* %r, i64 %j
+  store double %d, double* %r_addr
+  br label %outer
+done:
+  ret void
+}
+"""
+        m = parse_module(text)
+        r = detect_idioms(m)
+        assert r.by_idiom() == {"SPMV": 1}
+        sol = r.matches[0].solution
+        assert sol["inner.iter_begin"].name == "k_begin"
+        assert sol["inner.iter_end"].name == "k_end"
+
+
+class TestGEMM:
+    FORM1 = """
+void sgemm(int m, int n, int k, float *A, int lda, float *B, int ldb,
+           float *C, int ldc, float alpha, float beta) {
+  for (int mm = 0; mm < m; ++mm) {
+    for (int nn = 0; nn < n; ++nn) {
+      float c = 0.0f;
+      for (int i = 0; i < k; ++i) {
+        float a = A[mm + i * lda];
+        float b = B[nn + i * ldb];
+        c += a * b;
+      }
+      C[mm+nn*ldc] = C[mm+nn*ldc] * beta + alpha * c;
+    }
+  }
+}
+"""
+    FORM2 = """
+double M1[60][60]; double M2[60][60]; double M3[60][60];
+void mm() {
+  for(int i = 0; i < 60; i++)
+    for(int j = 0; j < 60; j++) {
+      M3[i][j] = 0.0;
+      for(int k = 0; k < 60; k++)
+        M3[i][j] += M1[i][k] * M2[k][j];
+    }
+}
+"""
+
+    def test_figure8_first_form(self):
+        assert detect(self.FORM1).by_idiom() == {"GEMM": 1}
+
+    def test_figure8_second_form(self):
+        """Both Figure-8 programs are instances of GEMM (paper §4.3)."""
+        assert detect(self.FORM2).by_idiom() == {"GEMM": 1}
+
+    def test_alpha_beta_bound(self):
+        r = detect(self.FORM1)
+        sol = r.matches[0].solution
+        assert "dotp.alpha" in sol and "dotp.beta" in sol
+
+    def test_inner_reduction_subsumed(self):
+        assert "Reduction" not in detect(self.FORM1).by_idiom()
+
+
+class TestStencil:
+    def test_1d(self):
+        r = detect("""
+void smooth(int n, double *out, double *in) {
+  for (int i = 1; i < n; i++)
+    out[i] = 0.25*in[i-1] + 0.5*in[i] + 0.25*in[i+1];
+}
+""")
+        assert r.by_idiom() == {"Stencil1D": 1}
+
+    def test_2d(self):
+        r = detect("""
+double A[32][32]; double B[32][32];
+void jacobi() {
+  for (int i = 1; i < 31; i++)
+    for (int j = 1; j < 31; j++)
+      B[i][j] = 0.2 * (A[i][j] + A[i-1][j] + A[i+1][j]
+                       + A[i][j-1] + A[i][j+1]);
+}
+""")
+        assert r.by_idiom() == {"Stencil2D": 1}
+
+    def test_3d(self):
+        r = detect("""
+double U[12][12][12]; double V[12][12][12];
+void relax() {
+  for (int i = 1; i < 11; i++)
+    for (int j = 1; j < 11; j++)
+      for (int k = 1; k < 11; k++)
+        V[i][j][k] = (U[i-1][j][k] + U[i+1][j][k] + U[i][j][k-1]
+                      + U[i][j][k+1]) / 4.0;
+}
+""")
+        assert r.by_idiom() == {"Stencil3D": 1}
+
+    def test_copy_is_not_stencil(self):
+        r = detect("""
+void copy(int n, double *out, double *in) {
+  for (int i = 0; i < n; i++) out[i] = in[i];
+}
+""")
+        assert r.total() == 0
+
+    def test_recurrence_is_not_stencil(self):
+        # Writing the array it reads (Gauss-Seidel / scan) must not match.
+        r = detect("""
+void scan(int n, double *a, double *w) {
+  for (int i = 1; i < n; i++)
+    a[i] = a[i-1] * 0.5 + w[i];
+}
+""")
+        assert "Stencil1D" not in r.by_idiom()
+
+    def test_offsets_recovered(self):
+        r = detect("""
+void smooth(int n, double *out, double *in) {
+  for (int i = 1; i < n; i++)
+    out[i] = in[i-1] + in[i+1];
+}
+""")
+        offsets = sorted(o[0] for o in r.matches[0].stencil_offsets())
+        assert offsets == [-1, 1]
+
+
+class TestLibraryMeta:
+    def test_library_size_close_to_paper(self):
+        """Paper: 'less than 500 lines of IDL code' for its idiom set."""
+        assert 250 <= library_line_count() <= 700
