@@ -2,15 +2,22 @@
 
 Constructing dominator trees is the expensive part of constraint solving;
 :class:`FunctionAnalyses` computes each analysis once per function and the
-IDL atoms share it. Invalidate (drop) the object after transforming IR.
+IDL atoms share it. The object also carries the candidate indexes the
+constraint solver's generators draw from (instructions by opcode, loads and
+stores by base pointer, phis by block) and the per-function memo table for
+compiled sub-constraint plans, so one instance serves every idiom matched
+against the function. Invalidate (drop) the object after transforming IR.
 """
 
 from __future__ import annotations
 
+from ..ir.instructions import Instruction, LoadInst, PhiInst, StoreInst
 from ..ir.module import Function
+from ..ir.values import GlobalVariable, Value
 from .cfg import InstructionCFG
 from .dominators import DominatorTree
 from .loops import LoopInfo
+from .memdep import base_pointer
 from .sese import ControlDependence
 
 
@@ -26,6 +33,16 @@ class FunctionAnalyses:
         self._block_postdom: DominatorTree | None = None
         self._loops: LoopInfo | None = None
         self._control_dep: ControlDependence | None = None
+        self._by_opcode: dict[str, list[Instruction]] | None = None
+        self._phis_by_block: dict[int, list[PhiInst]] | None = None
+        self._loads_by_base: dict[int, list[LoadInst]] | None = None
+        self._stores_by_base: dict[int, list[StoreInst]] | None = None
+        self._by_type_kind: dict[str, list[Value]] | None = None
+        self._universe: list[Value] | None = None
+        #: Solution sets of memoized sub-constraints (e.g. ``For``), keyed
+        #: by the sub-constraint's cache key. Shared by every solver that
+        #: runs over this function.
+        self.memo_solutions: dict[str, list[dict]] = {}
 
     @property
     def cfg(self) -> InstructionCFG:
@@ -69,3 +86,80 @@ class FunctionAnalyses:
         if self._control_dep is None:
             self._control_dep = ControlDependence(self.cfg, self.postdom)
         return self._control_dep
+
+    # -- candidate indexes ----------------------------------------------------
+    @property
+    def by_opcode(self) -> dict[str, list[Instruction]]:
+        """Instructions grouped by opcode, in program order."""
+        if self._by_opcode is None:
+            index: dict[str, list[Instruction]] = {}
+            for inst in self.function.instructions():
+                index.setdefault(inst.opcode, []).append(inst)
+            self._by_opcode = index
+        return self._by_opcode
+
+    @property
+    def phis_by_block(self) -> dict[int, list[PhiInst]]:
+        """Phi instructions grouped by ``id`` of their basic block."""
+        if self._phis_by_block is None:
+            index: dict[int, list[PhiInst]] = {}
+            for phi in self.by_opcode.get("phi", ()):
+                index.setdefault(id(phi.parent), []).append(phi)
+            self._phis_by_block = index
+        return self._phis_by_block
+
+    @property
+    def loads_by_base(self) -> dict[int, list[LoadInst]]:
+        """Loads grouped by ``id`` of their root base pointer.
+
+        Loads whose provenance is ambiguous (phi/select of pointers) are
+        grouped under key 0 — callers that restrict candidates by base must
+        always include that bucket.
+        """
+        if self._loads_by_base is None:
+            index: dict[int, list[LoadInst]] = {}
+            for inst in self.by_opcode.get("load", ()):
+                base = base_pointer(inst.pointer)
+                index.setdefault(0 if base is None else id(base),
+                                 []).append(inst)
+            self._loads_by_base = index
+        return self._loads_by_base
+
+    @property
+    def stores_by_base(self) -> dict[int, list[StoreInst]]:
+        """Stores grouped by ``id`` of their root base pointer (0 = unknown)."""
+        if self._stores_by_base is None:
+            index: dict[int, list[StoreInst]] = {}
+            for inst in self.by_opcode.get("store", ()):
+                base = base_pointer(inst.pointer)
+                index.setdefault(0 if base is None else id(base),
+                                 []).append(inst)
+            self._stores_by_base = index
+        return self._stores_by_base
+
+    @property
+    def universe(self) -> list[Value]:
+        """Every enumerable value: arguments, module globals, instructions."""
+        if self._universe is None:
+            module = self.function.module
+            global_values: list[Value] = (
+                list(module.globals.values()) if module is not None else [])
+            self._universe = (list(self.function.args) + global_values +
+                              list(self.function.instructions()))
+        return self._universe
+
+    @property
+    def by_type_kind(self) -> dict[str, list[Value]]:
+        """Universe values grouped by IDL type kind, in universe order."""
+        if self._by_type_kind is None:
+            index: dict[str, list[Value]] = {
+                "integer": [], "float": [], "pointer": []}
+            for value in self.universe:
+                if value.type.is_integer():
+                    index["integer"].append(value)
+                elif value.type.is_float():
+                    index["float"].append(value)
+                elif value.type.is_pointer():
+                    index["pointer"].append(value)
+            self._by_type_kind = index
+        return self._by_type_kind

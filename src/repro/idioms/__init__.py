@@ -1,6 +1,11 @@
-"""The idiom library (IDL sources) and detection driver."""
+"""The idiom library (IDL sources), detection driver and scheduler."""
 
-from .detector import IdiomDetector, detect_idioms, TOP_LEVEL_IDIOMS
+from .detector import (
+    DETECTOR_LIMITS,
+    IdiomDetector,
+    TOP_LEVEL_IDIOMS,
+    detect_idioms,
+)
 from .library import (
     IDIOM_CATEGORIES,
     LIBRARY_SOURCES,
@@ -9,10 +14,12 @@ from .library import (
     load_library,
 )
 from .matches import CATEGORY_OF, DetectionReport, IdiomMatch
+from .scheduler import DetectionSession
 
 __all__ = [
-    "IdiomDetector", "detect_idioms", "TOP_LEVEL_IDIOMS",
+    "DETECTOR_LIMITS", "IdiomDetector", "detect_idioms", "TOP_LEVEL_IDIOMS",
     "IDIOM_CATEGORIES", "LIBRARY_SOURCES", "SPECIFICITY_ORDER",
     "library_line_count", "load_library",
     "CATEGORY_OF", "DetectionReport", "IdiomMatch",
+    "DetectionSession",
 ]

@@ -13,53 +13,101 @@ from ..analysis.info import FunctionAnalyses
 from ..errors import IDLError
 from ..ir.module import Function, Module
 from ..idl.compiler import IdiomCompiler
+from ..idl.solver import SolveLimits, SolverStats
 from .library import SPECIFICITY_ORDER, load_library
 from .matches import DetectionReport, IdiomMatch
 
 #: Idioms detected by default, in specificity order.
 TOP_LEVEL_IDIOMS: list[str] = list(SPECIFICITY_ORDER)
 
+#: The detection pipeline's solve budget. Tighter on solutions than the
+#: raw solver default (witness variants explode on large functions; the
+#: anchor dedup collapses them anyway) but the same step budget — one
+#: config object threaded through detector → compiler → solver.
+DETECTOR_LIMITS = SolveLimits(max_solutions=2_000)
+
 
 class IdiomDetector:
-    """Detects the paper's five idiom classes across a module."""
+    """Detects the paper's five idiom classes across a module.
+
+    ``ordering``/``memo``/``indexed`` select the solve configuration
+    (static plans with memoized building blocks and indexed generators by
+    default; the seed's dynamic unindexed behaviour for benchmarking).
+    """
 
     def __init__(self, compiler: IdiomCompiler | None = None,
                  idioms: list[str] | None = None,
-                 max_solutions: int = 2_000):
+                 limits: SolveLimits | None = None,
+                 max_solutions: int | None = None,
+                 ordering: str = "plan",
+                 memo: bool = True,
+                 indexed: bool = True):
+        #: Process-mode workers rebuild the detector from configuration
+        #: alone, which only works for the standard library.
+        self.standard_library = compiler is None
         if compiler is None:
-            compiler = IdiomCompiler()
+            compiler = IdiomCompiler(
+                memo_specs=None if memo else frozenset())
             load_library(compiler)
         self.compiler = compiler
         self.idioms = idioms or list(TOP_LEVEL_IDIOMS)
-        self.max_solutions = max_solutions
+        self.limits = (limits or DETECTOR_LIMITS).with_overrides(
+            max_solutions)
+        self.ordering = ordering
+        self.memo = memo
+        self.indexed = indexed
+
+    @property
+    def max_solutions(self) -> int:
+        return self.limits.max_solutions
 
     # -- public API ---------------------------------------------------------------
-    def detect(self, module: Module) -> DetectionReport:
-        report = DetectionReport(module.name)
-        for function in module.functions.values():
-            report.matches.extend(self.detect_function(function))
-        return report
+    def detect(self, module: Module, workers: int = 1,
+               mode: str = "thread") -> DetectionReport:
+        """Detect across a module; ``workers > 1`` fans functions out over
+        a :class:`~repro.idioms.scheduler.DetectionSession` worker pool
+        (same report, deterministic merge order)."""
+        from .scheduler import DetectionSession
 
-    def detect_function(self, function: Function) -> list[IdiomMatch]:
+        return DetectionSession(self, workers=workers, mode=mode) \
+            .detect(module)
+
+    def detect_function(self, function: Function,
+                        analyses: FunctionAnalyses | None = None
+                        ) -> list[IdiomMatch]:
+        matches, _ = self.detect_function_with_stats(function, analyses)
+        return matches
+
+    def detect_function_with_stats(
+            self, function: Function,
+            analyses: FunctionAnalyses | None = None
+    ) -> tuple[list[IdiomMatch], SolverStats]:
+        """Matches plus aggregated search stats (which include solves that
+        found nothing — matches alone would under-report the work)."""
+        stats = SolverStats()
         if function.is_declaration():
-            return []
-        analyses = FunctionAnalyses(function)
+            return [], stats
+        if analyses is None:
+            analyses = FunctionAnalyses(function)
         matches: list[IdiomMatch] = []
         for idiom in self.idioms:
-            found = self._detect_idiom(function, idiom, analyses)
+            found, solve_stats = self._detect_idiom(function, idiom, analyses)
+            stats.merge(solve_stats)
             matches.extend(found)
         matches = _dedup_by_anchor(matches)
         matches = _resolve_overlaps(matches)
-        return matches
+        return matches, stats
 
     # -- internals --------------------------------------------------------------
     def _detect_idiom(self, function: Function, idiom: str,
-                      analyses: FunctionAnalyses) -> list[IdiomMatch]:
-        solutions = self.compiler.match(
-            function, idiom, analyses=analyses,
-            max_solutions=self.max_solutions)
-        matches = [IdiomMatch(idiom, function, sol) for sol in solutions]
-        return [m for m in matches if _post_filter(m)]
+                      analyses: FunctionAnalyses
+                      ) -> tuple[list[IdiomMatch], SolverStats]:
+        solutions, stats = self.compiler.match_with_stats(
+            function, idiom, analyses=analyses, limits=self.limits,
+            ordering=self.ordering, memo=self.memo, indexed=self.indexed)
+        matches = [IdiomMatch(idiom, function, sol, stats=stats)
+                   for sol in solutions]
+        return [m for m in matches if _post_filter(m)], stats
 
 
 def _post_filter(match: IdiomMatch) -> bool:
@@ -150,6 +198,7 @@ def _resolve_overlaps(matches: list[IdiomMatch]) -> list[IdiomMatch]:
     return kept
 
 
-def detect_idioms(module: Module) -> DetectionReport:
+def detect_idioms(module: Module, workers: int = 1,
+                  mode: str = "thread") -> DetectionReport:
     """One-shot convenience: build a detector and run it."""
-    return IdiomDetector().detect(module)
+    return IdiomDetector().detect(module, workers=workers, mode=mode)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..idl.solver import SolverStats
 from ..ir.instructions import Instruction
 from ..ir.module import Function
 from ..ir.values import ConstantInt, Value
@@ -27,6 +28,9 @@ class IdiomMatch:
     idiom: str
     function: Function
     solution: dict[str, Value]
+    #: Search stats of the (function, idiom) solve that produced this
+    #: match; shared by every match of that solve.
+    stats: SolverStats | None = field(default=None, compare=False)
 
     @property
     def category(self) -> str:
@@ -133,6 +137,9 @@ class DetectionReport:
 
     module_name: str
     matches: list[IdiomMatch] = field(default_factory=list)
+    #: Aggregated search effort over every (function, idiom) solve —
+    #: including solves that produced no match.
+    stats: SolverStats = field(default_factory=SolverStats)
 
     def by_category(self) -> dict[str, int]:
         counts: dict[str, int] = {}

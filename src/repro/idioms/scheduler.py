@@ -1,0 +1,238 @@
+"""Detection scheduling: one compiled plan set, batched functions, a
+configurable worker pool.
+
+A :class:`DetectionSession` is the unit of repository-scale detection the
+ROADMAP's scaling work builds on: it compiles every idiom's execution plan
+once, shares one :class:`FunctionAnalyses` per function across all idioms,
+batches the module's functions, and fans the batches out over a
+``concurrent.futures`` pool. Results are merged back in module order, so a
+parallel session produces a :class:`DetectionReport` identical to the
+sequential one — same matches, same order.
+
+Two pool flavours:
+
+* ``mode="thread"`` shares the IR in place; matches reference the caller's
+  objects directly.
+* ``mode="process"`` ships each batch as textual IR (the printer/parser
+  round-trip preserves block and instruction order), detects in the worker
+  process, and sends solutions back as structural locators that are decoded
+  against the caller's module — so even process-mode matches point at the
+  caller's IR objects. Only the standard idiom library is supported there,
+  because workers rebuild the detector from configuration alone.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from ..analysis.info import FunctionAnalyses
+from ..errors import IDLError
+from ..idl.solver import SolveLimits, SolverStats
+from ..ir.instructions import Instruction
+from ..ir.module import Function, Module
+from ..ir.printer import print_module
+from ..ir.types import parse_type
+from ..ir.values import Argument, ConstantFloat, ConstantInt, GlobalVariable
+from .matches import DetectionReport, IdiomMatch
+
+
+class DetectionSession:
+    """Shared-plan, batched, optionally parallel idiom detection."""
+
+    def __init__(self, detector=None, workers: int = 1,
+                 mode: str = "thread", batch_size: int | None = None):
+        if detector is None:
+            from .detector import IdiomDetector
+
+            detector = IdiomDetector()
+        if mode not in ("thread", "process"):
+            raise IDLError(f"unknown detection mode {mode!r}")
+        self.detector = detector
+        self.workers = max(1, int(workers))
+        self.mode = mode
+        self.batch_size = batch_size
+        #: FunctionAnalyses per function name, reset and refilled by each
+        #: detect() call (thread/serial modes; process workers keep theirs)
+        #: for reuse by later pipeline stages.
+        self.analyses: dict[str, FunctionAnalyses] = {}
+
+    # -- public API ---------------------------------------------------------------
+    def detect(self, module: Module) -> DetectionReport:
+        functions = [f for f in module.functions.values()
+                     if not f.is_declaration()]
+        report = DetectionReport(module.name)
+        self.analyses = {}
+        if not functions:
+            return report
+        # Lower and plan every idiom up front, whatever the ordering:
+        # workers must only read the compiler caches (the shared Lowerer's
+        # memo machinery is not safe to run concurrently).
+        self.detector.compiler.prepare(self.detector.idioms,
+                                       memo=self.detector.memo)
+        if self.workers <= 1:
+            results = [self._detect_batch(functions)]
+        elif self.mode == "thread":
+            results = self._run_threads(functions)
+        else:
+            results = self._run_processes(module, functions)
+        for batch in results:
+            for _, matches, stats in batch:
+                report.matches.extend(matches)
+                report.stats.merge(stats)
+        return report
+
+    # -- serial / thread execution ---------------------------------------------
+    def _detect_batch(self, functions: list[Function]) -> list[tuple]:
+        out = []
+        for function in functions:
+            analyses = FunctionAnalyses(function)
+            self.analyses[function.name] = analyses
+            matches, stats = self.detector.detect_function_with_stats(
+                function, analyses)
+            out.append((function.name, matches, stats))
+        return out
+
+    def _batches(self, functions: list[Function]) -> list[list[Function]]:
+        size = self.batch_size
+        if size is None:
+            # Small batches load-balance; at least one per worker.
+            size = max(1, -(-len(functions) // (self.workers * 4)))
+        return [functions[i:i + size]
+                for i in range(0, len(functions), size)]
+
+    def _run_threads(self, functions: list[Function]) -> list[list[tuple]]:
+        batches = self._batches(functions)
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            # Executor.map preserves argument order: deterministic merge.
+            return list(pool.map(self._detect_batch, batches))
+
+    # -- process execution -------------------------------------------------------
+    def _run_processes(self, module: Module,
+                       functions: list[Function]) -> list[list[tuple]]:
+        detector = self.detector
+        if not detector.standard_library:
+            raise IDLError(
+                "process-mode detection supports the standard idiom "
+                "library only (workers rebuild the detector from "
+                "configuration); use mode='thread' for custom compilers")
+        ir_text = print_module(module)
+        config = (tuple(detector.idioms),
+                  detector.limits.max_solutions, detector.limits.max_steps,
+                  detector.ordering, detector.memo, detector.indexed)
+        payloads = [(ir_text, [f.name for f in batch], config)
+                    for batch in self._batches(functions)]
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            encoded_batches = list(pool.map(_process_batch, payloads))
+        results = []
+        for encoded in encoded_batches:
+            batch = []
+            for fname, enc_matches, stats in encoded:
+                function = module.functions[fname]
+                matches = [
+                    IdiomMatch(idiom, function,
+                               decode_solution(enc_sol, function, module),
+                               stats=match_stats)
+                    for idiom, enc_sol, match_stats in enc_matches]
+                batch.append((fname, matches, stats))
+            results.append(batch)
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Solution wire format (process mode)
+# ---------------------------------------------------------------------------
+# The printer/parser round-trip preserves structure, so (block index,
+# instruction index) identifies the same instruction in both copies.
+
+def encode_value(value, function: Function) -> tuple:
+    if isinstance(value, Instruction):
+        block = value.parent
+        return ("i", function.blocks.index(block),
+                block.instructions.index(value))
+    if isinstance(value, Argument):
+        return ("a", function.args.index(value))
+    if isinstance(value, GlobalVariable):
+        return ("g", value.name)
+    if isinstance(value, ConstantInt):
+        return ("ci", str(value.type), value.value)
+    if isinstance(value, ConstantFloat):
+        return ("cf", str(value.type), value.value)
+    raise IDLError(
+        f"cannot serialize solution value {value!r} for process-mode "
+        f"detection")
+
+
+def decode_value(token: tuple, function: Function, module: Module):
+    kind = token[0]
+    if kind == "i":
+        return function.blocks[token[1]].instructions[token[2]]
+    if kind == "a":
+        return function.args[token[1]]
+    if kind == "g":
+        return module.globals[token[1]]
+    if kind == "ci":
+        return ConstantInt(parse_type(token[1]), token[2])
+    if kind == "cf":
+        return ConstantFloat(parse_type(token[1]), token[2])
+    raise IDLError(f"unknown solution token {token!r}")
+
+
+def encode_solution(solution: dict, function: Function) -> list[tuple]:
+    return [(name, encode_value(value, function))
+            for name, value in solution.items()]
+
+
+def decode_solution(encoded: list[tuple], function: Function,
+                    module: Module) -> dict:
+    return {name: decode_value(token, function, module)
+            for name, token in encoded}
+
+
+# -- worker side --------------------------------------------------------------
+_WORKER_CACHE: dict = {}
+
+
+def _worker_detector(config: tuple):
+    from .detector import IdiomDetector
+
+    detector = _WORKER_CACHE.get(("detector", config))
+    if detector is None:
+        idioms, max_solutions, max_steps, ordering, memo, indexed = config
+        detector = IdiomDetector(
+            idioms=list(idioms),
+            limits=SolveLimits(max_solutions=max_solutions,
+                               max_steps=max_steps),
+            ordering=ordering, memo=memo, indexed=indexed)
+        _WORKER_CACHE[("detector", config)] = detector
+    return detector
+
+
+def _worker_module(ir_text: str) -> Module:
+    from ..ir.parser import parse_module
+
+    if _WORKER_CACHE.get("module_text") != ir_text:
+        _WORKER_CACHE["module_text"] = ir_text
+        _WORKER_CACHE["module"] = parse_module(ir_text)
+        _WORKER_CACHE["analyses"] = {}
+    return _WORKER_CACHE["module"]
+
+
+def _process_batch(payload: tuple) -> list[tuple]:
+    """Detect one batch of functions inside a worker process."""
+    ir_text, fnames, config = payload
+    detector = _worker_detector(config)
+    module = _worker_module(ir_text)
+    analyses_cache: dict[str, FunctionAnalyses] = _WORKER_CACHE["analyses"]
+    out = []
+    for fname in fnames:
+        function = module.functions[fname]
+        analyses = analyses_cache.get(fname)
+        if analyses is None:
+            analyses = analyses_cache[fname] = FunctionAnalyses(function)
+        matches, stats = detector.detect_function_with_stats(
+            function, analyses)
+        enc_matches = [
+            (m.idiom, encode_solution(m.solution, function), m.stats)
+            for m in matches]
+        out.append((fname, enc_matches, stats))
+    return out

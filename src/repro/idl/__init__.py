@@ -13,6 +13,7 @@ from .lowering import (
     LAnd,
     LAtom,
     LCollect,
+    LMemo,
     LNative,
     LOr,
     Lowerer,
@@ -25,17 +26,20 @@ from .natives import (
     standard_natives,
 )
 from .parser import parse_idl, parse_var_text
-from .solver import Solver
-from .atoms import AtomEngine, SolveContext, value_key, values_equal
+from .plan import AndPlan, CollectPlan, OrPlan, Plan, compile_plan, node_cost
+from .solver import SolveLimits, Solver, SolverStats
+from .atoms import AtomEngine, SolveContext, atom_cost, value_key, \
+    values_equal
 
 __all__ = [
     "Specification", "VarRef",
     "IdiomCompiler",
     "tokenize",
-    "LAnd", "LAtom", "LCollect", "LNative", "LOr",
+    "LAnd", "LAtom", "LCollect", "LMemo", "LNative", "LOr",
     "Lowerer", "NativeConstraint", "Registry",
     "ConcatConstraint", "KernelFunctionConstraint", "standard_natives",
     "parse_idl", "parse_var_text",
-    "Solver",
-    "AtomEngine", "SolveContext", "value_key", "values_equal",
+    "AndPlan", "CollectPlan", "OrPlan", "Plan", "compile_plan", "node_cost",
+    "SolveLimits", "Solver", "SolverStats",
+    "AtomEngine", "SolveContext", "atom_cost", "value_key", "values_equal",
 ]

@@ -20,7 +20,12 @@ from ..analysis.dataflow import (
     has_dataflow_edge,
 )
 from ..analysis.info import FunctionAnalyses
-from ..analysis.memdep import has_dependence_edge
+from ..analysis.memdep import (
+    accessed_pointer,
+    base_pointer,
+    has_dependence_edge,
+    may_alias,
+)
 from ..errors import IDLError
 from ..ir.instructions import BranchInst, Instruction, PhiInst
 from ..ir.module import BasicBlock, Function
@@ -64,21 +69,21 @@ def value_key(value: Value):
 
 
 class SolveContext:
-    """Per-function state shared by all atoms during one solve."""
+    """Per-function state shared by all atoms during one solve.
+
+    The candidate indexes live on :class:`FunctionAnalyses`, so every idiom
+    matched against one function shares them instead of rebuilding per
+    solver instance.
+    """
 
     def __init__(self, function: Function,
                  analyses: FunctionAnalyses | None = None):
         self.function = function
         self.analyses = analyses or FunctionAnalyses(function)
-        self.by_opcode: dict[str, list[Instruction]] = {}
-        for inst in function.instructions():
-            self.by_opcode.setdefault(inst.opcode, []).append(inst)
-        module = function.module
-        self.globals: list[GlobalVariable] = (
-            list(module.globals.values()) if module is not None else [])
-        self.universe: list[Value] = (
-            list(function.args) + self.globals +
-            [i for i in function.instructions()])
+        self.by_opcode: dict[str, list[Instruction]] = self.analyses.by_opcode
+        self.universe: list[Value] = self.analyses.universe
+        self.globals: list[GlobalVariable] = [
+            v for v in self.universe if isinstance(v, GlobalVariable)]
 
     # -- helpers -------------------------------------------------------------
     def dominates(self, a: Value, b: Value, strict: bool, post: bool) -> bool:
@@ -149,27 +154,96 @@ def _type_check(extra: dict, value: Value) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# Atom cost model
+# ---------------------------------------------------------------------------
+
+def atom_cost(atom: LAtom, env: dict) -> int:
+    """Cost rank of executing ``atom`` in ``env``.
+
+    Depends only on *which* variables are bound (name membership), never on
+    their values — the property the static plan compiler relies on to
+    precompute the solver's execution order per idiom (paper §4.4).
+    """
+    unbound = [v for v in atom.free_vars() if v not in env]
+    if not unbound:
+        return COST_CHECK
+    if len(unbound) > 1:
+        # 'reaches phi node' with the phi bound binds value and branch
+        # together; everything else must wait for more bindings.
+        if atom.kind == "reaches_phi" and atom.vars[1] in env:
+            return COST_SMALL
+        return COST_NOT_READY
+    return _generator_cost(atom, unbound[0], env)
+
+
+def _generator_cost(atom: LAtom, var: str, env: dict) -> int:
+    position = atom.vars.index(var) if var in atom.vars else -1
+    kind = atom.kind
+    if kind == "same" and not atom.extra["negated"]:
+        return COST_UNIT
+    if kind == "argument_of":
+        return COST_UNIT if position == 0 and atom.vars[1] in env \
+            else COST_SMALL
+    if kind == "reaches_phi":
+        if atom.vars[1] in env:
+            return COST_SMALL
+        return COST_SCAN
+    if kind == "edge":
+        return COST_SMALL if atom.extra["edge"] in ("data", "control") \
+            else COST_SCAN
+    if kind == "opcode":
+        return COST_OPCODE
+    if kind == "class":
+        cls = atom.extra["cls"]
+        if cls == "argument":
+            return COST_UNIT
+        if cls == "instruction":
+            return COST_CLASS
+        if cls == "constant":
+            return COST_NOT_READY  # constants are not enumerable
+        return COST_SCAN
+    if kind in ("passes_through", "killed"):
+        return COST_NOT_READY
+    if kind == "same":  # negated: check-only, never generates
+        return COST_NOT_READY
+    if kind == "dominates" and atom.extra.get("negated"):
+        return COST_NOT_READY  # negative constraints never generate
+    return COST_SCAN
+
+
+def atom_bindings(atom: LAtom, bound) -> frozenset:
+    """Variables executing ``atom`` would newly bind, given bound names."""
+    unbound = [v for v in atom.free_vars() if v not in bound]
+    if len(unbound) == 1:
+        return frozenset(unbound)
+    if atom.kind == "reaches_phi" and atom.vars[1] in bound:
+        return frozenset(v for v in (atom.vars[0], atom.vars[2])
+                         if v not in bound)
+    return frozenset()
+
+
+# ---------------------------------------------------------------------------
 # Atom engine
 # ---------------------------------------------------------------------------
 
 class AtomEngine:
-    """Checks and candidate generation for lowered atoms."""
+    """Checks and candidate generation for lowered atoms.
 
-    def __init__(self, context: SolveContext):
+    ``stats`` (when given) receives a tick per universe element a fallback
+    scan filters, so the solver's step counts reflect generation work.
+    ``indexed=False`` restores the seed generators (full-universe scans) for
+    apples-to-apples benchmarking against the plan-driven configuration.
+    """
+
+    def __init__(self, context: SolveContext, stats=None,
+                 indexed: bool = True):
         self.ctx = context
+        self.stats = stats
+        self.indexed = indexed
 
     # -- public API -------------------------------------------------------------
     def cost(self, atom: LAtom, env: dict) -> int:
-        unbound = [v for v in atom.free_vars() if v not in env]
-        if not unbound:
-            return COST_CHECK
-        if len(unbound) > 1:
-            # 'reaches phi node' with the phi bound binds value and branch
-            # together; everything else must wait for more bindings.
-            if atom.kind == "reaches_phi" and atom.vars[1] in env:
-                return COST_SMALL
-            return COST_NOT_READY
-        return self._generator_cost(atom, unbound[0], env)
+        return atom_cost(atom, env)
 
     def check(self, atom: LAtom, env: dict) -> bool:
         values = [env[v] for v in atom.vars]
@@ -219,7 +293,10 @@ class AtomEngine:
                 return
             if cls == "compile_time":
                 yield from self.ctx.globals
-                yield from self._scan(atom, var, env)
+                if not self.indexed:
+                    # The seed also scanned the universe here, re-yielding
+                    # the globals; only they are compile-time constants.
+                    yield from self._scan(atom, var, env)
                 return
         if kind == "same" and not atom.extra["negated"]:
             other = atom.vars[1 - position]
@@ -233,6 +310,10 @@ class AtomEngine:
             return
         if kind == "reaches_phi":
             yield from self._gen_reaches_phi(atom, position, env)
+            return
+        if self.indexed and kind == "type":
+            yield from self.ctx.analyses.by_type_kind.get(
+                atom.extra["type"], ())
             return
         yield from self._scan(atom, var, env)
 
@@ -297,40 +378,6 @@ class AtomEngine:
             source, target, via)
 
     # -- generators -------------------------------------------------------------
-    def _generator_cost(self, atom: LAtom, var: str, env: dict) -> int:
-        position = atom.vars.index(var) if var in atom.vars else -1
-        kind = atom.kind
-        if kind == "same" and not atom.extra["negated"]:
-            return COST_UNIT
-        if kind == "argument_of":
-            return COST_UNIT if position == 0 and atom.vars[1] in env \
-                else COST_SMALL
-        if kind == "reaches_phi":
-            if atom.vars[1] in env:
-                return COST_SMALL
-            return COST_SCAN
-        if kind == "edge":
-            return COST_SMALL if atom.extra["edge"] in ("data", "control") \
-                else COST_SCAN
-        if kind == "opcode":
-            return COST_OPCODE
-        if kind == "class":
-            cls = atom.extra["cls"]
-            if cls == "argument":
-                return COST_UNIT
-            if cls == "instruction":
-                return COST_CLASS
-            if cls == "constant":
-                return COST_NOT_READY  # constants are not enumerable
-            return COST_SCAN
-        if kind in ("passes_through", "killed"):
-            return COST_NOT_READY
-        if kind == "same":  # negated: check-only, never generates
-            return COST_NOT_READY
-        if kind == "dominates" and atom.extra.get("negated"):
-            return COST_NOT_READY  # negative constraints never generate
-        return COST_SCAN
-
     def _gen_argument_of(self, atom: LAtom, position: int,
                          env: dict) -> Iterable[Value]:
         arg_pos = atom.extra["position"]
@@ -371,7 +418,32 @@ class AtomEngine:
             if isinstance(dst, Instruction):
                 yield from self.ctx.analyses.control_dep.controllers(dst)
             return
+        if self.indexed and edge == "dependence":
+            yield from self._gen_dependence(atom, position, env)
+            return
         yield from self._scan(atom, atom.vars[position], env)
+
+    def _gen_dependence(self, atom: LAtom, position: int,
+                        env: dict) -> Iterable[Value]:
+        """Dependence-edge candidates: memory ops on a may-aliasing base.
+
+        Uses the per-function loads/stores-by-base-pointer indexes; buckets
+        whose base provably cannot alias the bound endpoint's base are
+        skipped (distinct allocas/globals — see ``memdep.may_alias``), the
+        ambiguous bucket (key 0) is always included.
+        """
+        other = env[atom.vars[1 - position]]
+        pointer = accessed_pointer(other) if isinstance(other, Instruction) \
+            else None
+        anchor = base_pointer(pointer) if pointer is not None else None
+        analyses = self.ctx.analyses
+        for index in (analyses.loads_by_base, analyses.stores_by_base):
+            for key, insts in index.items():
+                if anchor is not None and key != 0 and \
+                        not may_alias(insts[0].pointer, pointer):
+                    continue
+                yield from insts
+        yield from self.ctx.by_opcode.get("call", ())
 
     def _gen_reaches_phi(self, atom: LAtom, position: int,
                          env: dict) -> Iterable[Value]:
@@ -393,11 +465,20 @@ class AtomEngine:
                             values_equal(env[atom.vars[0]], value):
                         yield branch
             return
+        if self.indexed and position == 1:
+            # Unbound phi: enumerate the per-block phi index instead of
+            # scanning the universe; the caller's check filters the rest.
+            for phis in self.ctx.analyses.phis_by_block.values():
+                yield from phis
+            return
         yield from self._scan(atom, atom.vars[position], env)
 
     def _scan(self, atom: LAtom, var: str, env: dict) -> Iterable[Value]:
         """Last-resort generator: filter the whole function universe."""
+        stats = self.stats
         for value in self.ctx.universe:
+            if stats is not None:
+                stats.tick()
             trial = dict(env)
             trial[var] = value
             try:

@@ -1,4 +1,5 @@
-"""IDL compiler facade: source → registry → lowered constraints → solutions.
+"""IDL compiler facade: source → registry → lowered constraints → plans →
+solutions.
 
 This is the user-facing entry point mirroring the paper's Figure 1 pipeline
 (idiom description → constraint formula → solver)::
@@ -13,6 +14,11 @@ This is the user-facing entry point mirroring the paper's Figure 1 pipeline
     ''')
     for match in idl.match(function, "FactorizationOpportunity"):
         print(match["sum"], match["factor"])
+
+Each named constraint is lowered once and compiled to a static execution
+plan once (paper §4.4); both are cached. ``match`` executes the cached
+plan; passing ``ordering="dynamic"``/``memo=False``/``indexed=False``
+restores the seed's per-step dynamic behaviour for benchmarking.
 """
 
 from __future__ import annotations
@@ -23,15 +29,25 @@ from ..ir.module import Function, Module
 from .lowering import Lowerer, Registry
 from .natives import standard_natives
 from .parser import parse_idl
-from .solver import Solver
+from .plan import Plan, compile_plan
+from .solver import SolveLimits, Solver, SolverStats
+
+#: Building-block constraints solved once per function and replayed at
+#: every inheritance site (see :class:`~repro.idl.lowering.LMemo`).
+DEFAULT_MEMO_SPECS = frozenset({"For"})
 
 
 class IdiomCompiler:
     """Holds a constraint registry and compiles/solves idiom descriptions."""
 
-    def __init__(self, load_natives: bool = True):
+    def __init__(self, load_natives: bool = True,
+                 memo_specs: frozenset[str] | set[str] | None = None):
         self.registry = Registry()
+        self.memo_specs = frozenset(
+            DEFAULT_MEMO_SPECS if memo_specs is None else memo_specs)
         self._lowered_cache: dict[tuple, object] = {}
+        self._plan_cache: dict[tuple, Plan] = {}
+        self._lowerers: dict[bool, Lowerer] = {}
         if load_natives:
             for native in standard_natives():
                 self.registry.add_native(native)
@@ -43,37 +59,108 @@ class IdiomCompiler:
         for spec in specs:
             self.registry.add_spec(spec)
         self._lowered_cache.clear()
+        self._plan_cache.clear()
+        self._lowerers.clear()
         return [spec.name for spec in specs]
 
     def names(self) -> list[str]:
         return self.registry.names()
 
     # -- compilation -----------------------------------------------------------------
-    def compile(self, name: str, params: dict[str, int] | None = None):
+    def _lowerer(self, memo: bool) -> Lowerer:
+        if memo not in self._lowerers:
+            self._lowerers[memo] = Lowerer(
+                self.registry, self.memo_specs if memo else frozenset())
+        return self._lowerers[memo]
+
+    def compile(self, name: str, params: dict[str, int] | None = None,
+                memo: bool = True):
         """Lower a named constraint to its solvable form (cached)."""
-        key = (name, tuple(sorted((params or {}).items())))
+        key = (name, tuple(sorted((params or {}).items())), memo)
         if key not in self._lowered_cache:
-            lowerer = Lowerer(self.registry)
-            self._lowered_cache[key] = lowerer.lower_spec(name, params)
+            self._lowered_cache[key] = self._lowerer(memo).lower_spec(
+                name, params)
         return self._lowered_cache[key]
+
+    def plan_for(self, name: str, params: dict[str, int] | None = None,
+                 memo: bool = True) -> Plan:
+        """The static execution plan of a named constraint (cached)."""
+        key = (name, tuple(sorted((params or {}).items())), memo)
+        if key not in self._plan_cache:
+            self._plan_cache[key] = compile_plan(self.compile(
+                name, params, memo))
+        return self._plan_cache[key]
+
+    def prepare(self, names: list[str] | None = None,
+                memo: bool = True) -> None:
+        """Eagerly compile lowered forms and plans (e.g. before fanning a
+        detection session out across worker threads — workers then only
+        read the caches). ``memo`` must match the configuration the
+        solves will use, or the warm-up fills the wrong cache keys."""
+        for name in names if names is not None else self.names():
+            if self.registry.native(name) is not None:
+                continue
+            self.plan_for(name, memo=memo)
 
     # -- solving ---------------------------------------------------------------------
     def match(self, function: Function, name: str,
               params: dict[str, int] | None = None,
               analyses: FunctionAnalyses | None = None,
-              max_solutions: int = 10_000) -> list[dict]:
+              limits: SolveLimits | None = None,
+              max_solutions: int | None = None,
+              ordering: str = "plan",
+              memo: bool = True,
+              indexed: bool = True) -> list[dict]:
         """All matches of the named idiom within one function."""
+        solutions, _ = self.match_with_stats(
+            function, name, params, analyses, limits,
+            max_solutions=max_solutions, ordering=ordering, memo=memo,
+            indexed=indexed)
+        return solutions
+
+    def match_with_stats(self, function: Function, name: str,
+                         params: dict[str, int] | None = None,
+                         analyses: FunctionAnalyses | None = None,
+                         limits: SolveLimits | None = None,
+                         max_solutions: int | None = None,
+                         ordering: str = "plan",
+                         memo: bool = True,
+                         indexed: bool = True
+                         ) -> tuple[list[dict], SolverStats]:
+        """Like :meth:`match`, also returning the solve's search stats."""
+        if ordering not in ("plan", "dynamic"):
+            raise IDLError(f"unknown ordering {ordering!r}")
+        limits = (limits or SolveLimits()).with_overrides(max_solutions)
         if function.is_declaration():
-            return []
-        lowered = self.compile(name, params)
-        solver = Solver(function, analyses, max_solutions=max_solutions)
-        return solver.solutions(lowered)
+            return [], SolverStats(max_steps=limits.max_steps)
+        lowered = self.compile(name, params, memo)
+        plan = self.plan_for(name, params, memo) \
+            if ordering == "plan" else None
+        solver = Solver(function, analyses, limits, indexed=indexed)
+        return solver.solutions(lowered, plan), solver.stats
 
     def match_module(self, module: Module, name: str,
-                     params: dict[str, int] | None = None) -> list[tuple]:
-        """All matches across a module: list of (function, solution)."""
+                     params: dict[str, int] | None = None,
+                     analyses: dict[str, FunctionAnalyses] | None = None,
+                     limits: SolveLimits | None = None) -> list[tuple]:
+        """All matches across a module: list of (function, solution).
+
+        ``analyses`` is an optional per-function-name cache; it is filled
+        in as functions are visited, so callers running several idioms over
+        one module (or interleaving with other analyses) share one
+        :class:`FunctionAnalyses` per function instead of rebuilding
+        dominator trees inside every ``match`` call.
+        """
+        if analyses is None:
+            analyses = {}
         results = []
-        for function in module.functions.values():
-            for solution in self.match(function, name, params):
+        for fname, function in module.functions.items():
+            if function.is_declaration():
+                continue
+            fa = analyses.get(fname)
+            if fa is None:
+                fa = analyses[fname] = FunctionAnalyses(function)
+            for solution in self.match(function, name, params, analyses=fa,
+                                       limits=limits):
                 results.append((function, solution))
         return results

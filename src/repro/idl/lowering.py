@@ -157,6 +157,33 @@ class LNative:
         return set(self.args.values())
 
 
+@dataclass
+class LMemo:
+    """A memoized sub-constraint reference (e.g. ``inherits For``).
+
+    The named specification is lowered once in its own canonical frame
+    (``canonical``); every inheritance site shares that lowering and only
+    records ``mapping`` — canonical variable name → flattened name at the
+    site. The solver enumerates the canonical solution set once per
+    function (cached on :class:`FunctionAnalyses`), then replays it through
+    the mapping at each site instead of re-deriving the sub-constraint
+    inside every idiom. ``plan`` is the canonical execution plan, attached
+    by the plan compiler.
+    """
+
+    name: str
+    key: str
+    canonical: object
+    mapping: dict[str, str]
+    plan: object = None
+
+    def free_vars(self) -> set[str]:
+        return set(self.mapping.values())
+
+    def __repr__(self) -> str:
+        return f"LMemo({self.name} -> {len(self.mapping)} vars)"
+
+
 def _family_base(name: str) -> str:
     """``read[0].value`` → ``read``; ``read_value[2]`` → ``read_value``."""
     idx = name.find("[")
@@ -180,6 +207,16 @@ class NativeConstraint:
 
     def solve(self, env: dict, args: dict[str, str], context):
         raise NotImplementedError
+
+    def planned_bindings(self, args: dict[str, str],
+                         bound: frozenset) -> frozenset:
+        """Names this constraint binds when solved, for plan compilation.
+
+        The default is conservative (binds nothing); constraints that
+        extend the environment (e.g. Concat's output family) override it so
+        static plans can schedule their consumers afterwards.
+        """
+        return frozenset()
 
 
 # ---------------------------------------------------------------------------
@@ -241,9 +278,23 @@ class _Context:
 
 
 class Lowerer:
-    def __init__(self, registry: Registry):
+    """Lowers named specifications to solvable trees.
+
+    ``memo_specs`` names building-block constraints (e.g. ``For``) whose
+    inheritance sites lower to :class:`LMemo` references against one shared
+    canonical lowering, so the solver can enumerate them once per function
+    instead of once per enclosing idiom. Only pure atom/and/or constraints
+    are memoizable; anything containing collects or natives falls back to
+    inline lowering.
+    """
+
+    def __init__(self, registry: Registry,
+                 memo_specs: frozenset[str] | set[str] = frozenset()):
         self.registry = registry
+        self.memo_specs = frozenset(memo_specs)
         self._depth = 0
+        self._canonical_cache: dict[tuple, object] = {}
+        self._memo_in_progress: set[str] = set()
 
     # -- variable flattening -------------------------------------------------
     def flatten_var(self, var: VarRef, ctx: _Context) -> str:
@@ -319,6 +370,10 @@ class Lowerer:
             args = {arg: self.resolve_name(arg, ctx)
                     for arg in native.arg_names}
             return LNative(name, args, native)
+        if name in self.memo_specs and name not in self._memo_in_progress:
+            memo = self._lower_memo(name, ctx)
+            if memo is not None:
+                return memo
         spec = self.registry.spec(name)
         self._depth += 1
         if self._depth > 64:
@@ -327,6 +382,28 @@ class Lowerer:
             return self.lower(spec.constraint, ctx)
         finally:
             self._depth -= 1
+
+    def _lower_memo(self, name: str, ctx: _Context) -> "LMemo | None":
+        """Build an LMemo reference for ``name``, or None if unmemoizable."""
+        key_params = tuple(sorted(ctx.params.items()))
+        cache_key = (name, key_params)
+        canonical = self._canonical_cache.get(cache_key)
+        if canonical is None:
+            self._memo_in_progress.add(name)
+            try:
+                canonical = self._lower_named(
+                    name, _Context(dict(ctx.params), {}, None, None))
+            finally:
+                self._memo_in_progress.discard(name)
+            if not _memoizable(canonical):
+                canonical = False
+            self._canonical_cache[cache_key] = canonical
+        if canonical is False:
+            return None
+        mapping = {v: self.resolve_name(v, ctx)
+                   for v in sorted(canonical.free_vars())}
+        params_text = ",".join(f"{k}={v}" for k, v in key_params)
+        return LMemo(name, f"{name}({params_text})", canonical, mapping)
 
     def lower(self, node, ctx: _Context):
         if isinstance(node, Atom):
@@ -423,6 +500,17 @@ class Lowerer:
         return LCollect(node.index, limit, instances[0], index_names)
 
 
+def _memoizable(lowered) -> bool:
+    """Memoized solution replay supports plain atom/and/or trees only:
+    collects and natives extend the environment in ways a cached canonical
+    solution set cannot represent (``#len`` markers, family bindings)."""
+    if isinstance(lowered, LAtom):
+        return True
+    if isinstance(lowered, (LAnd, LOr)):
+        return all(_memoizable(c) for c in lowered.children)
+    return False
+
+
 def _positional_vars(node) -> list[str]:
     """Variable names of a lowered tree in deterministic structural order.
 
@@ -443,4 +531,7 @@ def _positional_vars(node) -> list[str]:
     elif isinstance(node, LNative):
         for arg in sorted(node.args):
             names.append(node.args[arg])
+    elif isinstance(node, LMemo):
+        for cname in sorted(node.mapping):
+            names.append(node.mapping[cname])
     return names

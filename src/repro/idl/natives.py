@@ -60,6 +60,12 @@ class ConcatConstraint(NativeConstraint):
             return COST_NOT_READY
         return COST_CONCAT
 
+    def planned_bindings(self, args: dict[str, str],
+                         bound: frozenset) -> frozenset:
+        # Binds the output family; its length marker is what downstream
+        # cost functions (KernelFunction's input check) test for.
+        return frozenset({f"#len:{args['out']}"})
+
     def solve(self, env: dict, args: dict[str, str],
               context: SolveContext) -> Iterator[dict]:
         length = family_length(env, args["in1"])

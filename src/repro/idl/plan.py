@@ -1,0 +1,227 @@
+"""Static execution plans for lowered constraints (paper §4.4).
+
+The paper keeps idiom matching tractable because "variables are collected
+and ordered to assist constraint solving" — the ordering is a *static*
+property of the idiom, computed once at compile time. The seed solver
+re-derived the cheapest-ready conjunct dynamically at every search step;
+this module precomputes that choice.
+
+The plan compiler simulates the solver's cost model over *name-membership*
+environments: :func:`node_cost` depends only on which variables are bound,
+never on their values, so replaying the greedy cheapest-first selection
+against a simulated bound-set reproduces the dynamic order exactly — once
+per idiom instead of once per node expansion. Conjunctions become ordered
+step lists (checks first, then single-candidate generators, indexed
+generators, scans); disjunctions and collects carry nested sub-plans
+compiled against the variables bound at their scheduled position.
+
+Where the simulation is optimistic (an ``or`` branch or an under-filled
+``collect`` binds fewer names at runtime than assumed), the executor in
+:mod:`.solver` detects the not-ready step and falls back to the dynamic
+ordering for the remainder of that conjunction, preserving the seed's
+``stuck_branches`` semantics bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import IDLError
+from .atoms import COST_NOT_READY, atom_bindings, atom_cost
+from .lowering import LAnd, LAtom, LCollect, LMemo, LNative, LOr
+
+#: Cost rank for a ready collect (late: after its outer variables bind).
+COST_COLLECT = 80
+
+#: Disjunctions defer past plain generators: entering an Or-branch commits
+#: to solving it as a unit, so it should start only after the surrounding
+#: conjunction has bound the context variables the branch checks against.
+COST_OR_DEFER = 25
+
+#: Replaying a memoized sub-constraint's cached solutions is cheaper than
+#: any opcode generator but dearer than unit candidates, so memo references
+#: run first when nothing else pins the search.
+COST_MEMO = 5
+
+#: Placeholder value for simulated (plan-time) environments. ``#len:``
+#: markers simulate as 1 so native cost functions see a bound family.
+PLANNED = object()
+
+
+def node_cost(node, env: dict, context=None) -> int:
+    """Cost rank of executing any lowered node in ``env``.
+
+    Shared by the dynamic solver (real environments) and the plan compiler
+    (simulated environments) — both must rank identically for plans to
+    reproduce the dynamic order.
+    """
+    if isinstance(node, LAtom):
+        return atom_cost(node, env)
+    if isinstance(node, LMemo):
+        return COST_MEMO
+    if isinstance(node, LAnd):
+        if not node.children:
+            return 0
+        return min(node_cost(c, env, context) for c in node.children)
+    if isinstance(node, LOr):
+        if not node.children:
+            return 0
+        worst = max(node_cost(c, env, context) for c in node.children)
+        if worst >= COST_NOT_READY:
+            return COST_NOT_READY
+        return min(worst + COST_OR_DEFER, COST_NOT_READY - 1)
+    if isinstance(node, LNative):
+        return node.impl.cost(env, node.args, context)
+    if isinstance(node, LCollect):
+        ready = all(v in env for v in node.free_vars())
+        return COST_COLLECT if ready else COST_NOT_READY
+    raise IDLError(f"unknown lowered node {type(node).__name__}")
+
+
+def simulated_env(bound: frozenset) -> dict:
+    """A fake environment whose membership equals ``bound``."""
+    return {name: (1 if name.startswith("#len:") else PLANNED)
+            for name in bound}
+
+
+# ---------------------------------------------------------------------------
+# Plan node classes
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Plan:
+    """Base: a leaf step (atom, native or memo reference).
+
+    ``cost`` is the static cost rank at the position the compiler scheduled
+    this node; ``binds`` the names the simulation assumes newly bound after
+    it solves.
+    """
+
+    node: object
+    cost: int = 0
+    binds: frozenset = frozenset()
+
+    def describe(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        return f"{pad}[{self.cost:4d}] {self.node!r}"
+
+
+@dataclass
+class AndPlan(Plan):
+    """An ordered conjunction: execute ``steps`` left to right."""
+
+    steps: list[Plan] = field(default_factory=list)
+
+    def describe(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        lines = [f"{pad}And({len(self.steps)} steps)"]
+        lines += [s.describe(depth + 1) for s in self.steps]
+        return "\n".join(lines)
+
+
+@dataclass
+class OrPlan(Plan):
+    """A disjunction whose branches were each planned against the entry
+    bound-set; ``binds`` is the intersection of the branch bindings (only
+    names *every* branch guarantees)."""
+
+    branches: list[Plan] = field(default_factory=list)
+
+    def describe(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        lines = [f"{pad}Or({len(self.branches)} branches)"]
+        lines += [b.describe(depth + 1) for b in self.branches]
+        return "\n".join(lines)
+
+
+@dataclass
+class CollectPlan(Plan):
+    """A collect whose body sub-plan assumes the outer variables bound."""
+
+    body: Plan | None = None
+
+    def describe(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        header = f"{pad}Collect({self.node.index} x{self.node.limit})"
+        if self.body is None:
+            return header
+        return header + "\n" + self.body.describe(depth + 1)
+
+
+# ---------------------------------------------------------------------------
+# Plan compilation
+# ---------------------------------------------------------------------------
+
+def compile_plan(node, bound: frozenset = frozenset()) -> Plan:
+    """Compile a lowered constraint into an execution plan.
+
+    ``bound`` is the set of variable names assumed bound on entry. The
+    result is cached per idiom by :class:`~repro.idl.compiler.IdiomCompiler`
+    and shared by every solve.
+    """
+    if isinstance(node, LAnd):
+        return _compile_and(node, bound)
+    if isinstance(node, LOr):
+        branches = [compile_plan(c, bound) for c in node.children]
+        binds = frozenset()
+        if branches:
+            binds = frozenset.intersection(*[b.binds for b in branches])
+        return OrPlan(node, 0, binds, branches)
+    if isinstance(node, LCollect):
+        body = compile_plan(node.instance,
+                            bound | frozenset(node.free_vars()))
+        return CollectPlan(node, COST_COLLECT,
+                           _collect_bindings(node, bound), body)
+    if isinstance(node, LMemo):
+        if node.plan is None:
+            node.plan = compile_plan(node.canonical, frozenset())
+        binds = frozenset(v for v in node.mapping.values() if v not in bound)
+        return Plan(node, COST_MEMO, binds)
+    if isinstance(node, LAtom):
+        return Plan(node, atom_cost(node, simulated_env(bound)),
+                    atom_bindings(node, bound))
+    if isinstance(node, LNative):
+        return Plan(node, 0, node.impl.planned_bindings(node.args, bound))
+    raise IDLError(f"cannot plan node {type(node).__name__}")
+
+
+def _compile_and(node: LAnd, bound: frozenset) -> AndPlan:
+    """Order a conjunction's children by replaying the solver's greedy
+    cheapest-first selection over simulated bound-sets."""
+    remaining = list(node.children)
+    steps: list[Plan] = []
+    current: set[str] = set(bound)
+    while remaining:
+        env = simulated_env(frozenset(current))
+        best_index, best_cost = -1, COST_NOT_READY + 1
+        for i, child in enumerate(remaining):
+            cost = node_cost(child, env, None)
+            if cost < best_cost:
+                best_index, best_cost = i, cost
+                if cost == 0:
+                    break
+        if best_cost >= COST_NOT_READY:
+            # Statically stuck: no remaining conjunct can bind its inputs
+            # under the simulation. Emit the rest in source order; the
+            # executor's dynamic fallback (or the stuck-branch path)
+            # resolves it with real bindings.
+            for child in remaining:
+                steps.append(compile_plan(child, frozenset(current)))
+            break
+        child = remaining.pop(best_index)
+        sub = compile_plan(child, frozenset(current))
+        sub.cost = best_cost
+        steps.append(sub)
+        current |= sub.binds
+    return AndPlan(node, 0, frozenset(current) - bound, steps)
+
+
+def _collect_bindings(node: LCollect, bound: frozenset) -> frozenset:
+    """Names a collect optimistically binds: every indexed variable of
+    every instance, plus the ``#len`` family markers. At runtime fewer
+    instances may be found; the executor's readiness check covers that."""
+    names: set[str] = set(node.indexed_vars())
+    for mapping in node.index_names:
+        names.update(mapping.values())
+    names.update(f"#len:{base}" for base in node.indexed_base_names())
+    return frozenset(n for n in names if n not in bound)

@@ -2,44 +2,102 @@
 
 Architecture follows the paper (§2.1, §4.4) and its CGO'17 predecessor:
 the lowered constraint tree (conjunctions, disjunctions, atoms, collects,
-natives) is searched by standard backtracking; at every step the solver
-executes the *cheapest ready* conjunct — pure checks first, then
-single-candidate generators, then indexed generators, then scans — which
-is the dynamic equivalent of the paper's static variable ordering. All
+natives, memo references) is searched by standard backtracking. Execution
+order comes from a static per-idiom plan (:mod:`.plan`) compiled once by
+the :class:`~repro.idl.compiler.IdiomCompiler`: checks first, then
+single-candidate generators, indexed generators, scans — the paper's
+static variable ordering. When a planned step is not ready (an ``or``
+branch bound fewer names than the plan assumed), the executor falls back
+to the seed's dynamic cheapest-ready selection for the remainder of that
+conjunction, so the enumerated solution set is identical either way. All
 solutions are enumerated and deduplicated.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import Iterator
 
 from ..analysis.info import FunctionAnalyses
 from ..errors import IDLError
 from ..ir.module import Function
-from .atoms import COST_NOT_READY, AtomEngine, SolveContext, value_key
-from .lowering import LAnd, LAtom, LCollect, LNative, LOr
+from .atoms import COST_NOT_READY, AtomEngine, SolveContext, value_key, \
+    values_equal
+from .lowering import LAnd, LAtom, LCollect, LMemo, LNative, LOr
+from .plan import AndPlan, CollectPlan, OrPlan, Plan, node_cost
 
-#: Cost rank for a ready collect (late: after its outer variables bind).
-COST_COLLECT = 80
-
-#: Disjunctions defer past plain generators: entering an Or-branch commits
-#: to solving it as a unit, so it should start only after the surrounding
-#: conjunction has bound the context variables the branch checks against.
-COST_OR_DEFER = 25
+# Re-exported for backward compatibility (they used to live here).
+from .plan import COST_COLLECT, COST_OR_DEFER  # noqa: F401
 
 
-class SearchBudget:
-    """Guards against pathological search explosion."""
+@dataclass(frozen=True)
+class SolveLimits:
+    """The one budget configuration threaded through compiler, solver and
+    detector: solution cap and search-step cap for a single solve.
 
-    def __init__(self, max_steps: int = 5_000_000):
-        self.max_steps = max_steps
-        self.steps = 0
+    Ticks count every atom execution, candidate, and scan-filtered
+    universe element (the seed budget ignored scan filtering), so the
+    default step cap is 4x the seed's 5M to keep the same effective
+    headroom for scan-heavy searches.
+    """
+
+    max_solutions: int = 10_000
+    max_steps: int = 20_000_000
+
+    def with_overrides(self, max_solutions: int | None = None,
+                       max_steps: int | None = None) -> "SolveLimits":
+        out = self
+        if max_solutions is not None:
+            out = replace(out, max_solutions=max_solutions)
+        if max_steps is not None:
+            out = replace(out, max_steps=max_steps)
+        return out
+
+
+@dataclass
+class SolverStats:
+    """Search-effort accounting for one or more solves.
+
+    ``ticks`` counts solver steps: every atom execution, every candidate a
+    generator yields, and every universe element a fallback scan filters.
+    ``backtracks`` counts rejected candidates, ``plan_fallbacks`` how often
+    a planned step was not ready and the dynamic ordering took over,
+    ``stuck_branches`` abandoned search paths, and ``memo_hits``/``misses``
+    the per-function memo cache behaviour for shared sub-constraints.
+    """
+
+    ticks: int = 0
+    backtracks: int = 0
+    plan_fallbacks: int = 0
+    stuck_branches: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    max_steps: int = 20_000_000
 
     def tick(self) -> None:
-        self.steps += 1
-        if self.steps > self.max_steps:
+        self.ticks += 1
+        if self.ticks > self.max_steps:
             raise IDLError(
                 f"constraint search exceeded {self.max_steps} steps")
+
+    def merge(self, other: "SolverStats") -> "SolverStats":
+        self.ticks += other.ticks
+        self.backtracks += other.backtracks
+        self.plan_fallbacks += other.plan_fallbacks
+        self.stuck_branches += other.stuck_branches
+        self.memo_hits += other.memo_hits
+        self.memo_misses += other.memo_misses
+        return self
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "ticks": self.ticks,
+            "backtracks": self.backtracks,
+            "plan_fallbacks": self.plan_fallbacks,
+            "stuck_branches": self.stuck_branches,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+        }
 
 
 def _is_negative_atom(node) -> bool:
@@ -51,36 +109,80 @@ class Solver:
 
     def __init__(self, function: Function,
                  analyses: FunctionAnalyses | None = None,
-                 max_solutions: int = 10_000,
-                 max_steps: int = 5_000_000):
+                 limits: SolveLimits | None = None,
+                 *,
+                 max_solutions: int | None = None,
+                 max_steps: int | None = None,
+                 indexed: bool = True):
+        limits = (limits or SolveLimits()).with_overrides(
+            max_solutions, max_steps)
+        self.limits = limits
+        self.stats = SolverStats(max_steps=limits.max_steps)
         self.context = SolveContext(function, analyses)
-        self.engine = AtomEngine(self.context)
-        self.max_solutions = max_solutions
-        self.budget = SearchBudget(max_steps)
-        #: Search paths abandoned because no generator was available.
-        self.stuck_branches = 0
+        self.engine = AtomEngine(self.context, stats=self.stats,
+                                 indexed=indexed)
+
+    @property
+    def max_solutions(self) -> int:
+        return self.limits.max_solutions
+
+    @property
+    def stuck_branches(self) -> int:
+        return self.stats.stuck_branches
 
     # -- public API ---------------------------------------------------------------
-    def solutions(self, lowered) -> list[dict]:
+    def solutions(self, lowered, plan: Plan | None = None) -> list[dict]:
         """All distinct solutions, as dicts of variable name → IR value."""
         results: list[dict] = []
         seen: set = set()
-        names = sorted(lowered.free_vars())
-        for env in self._solve(lowered, {}):
+        for env in self._enumerate(lowered, plan):
             clean = {k: v for k, v in env.items() if not k.startswith("#")}
             key = tuple((k, value_key(v)) for k, v in sorted(clean.items()))
             if key in seen:
                 continue
             seen.add(key)
             results.append(clean)
-            if len(results) >= self.max_solutions:
+            if len(results) >= self.limits.max_solutions:
                 break
         return results
 
-    def first(self, lowered) -> dict | None:
-        for env in self._solve(lowered, {}):
+    def first(self, lowered, plan: Plan | None = None) -> dict | None:
+        for env in self._enumerate(lowered, plan):
             return {k: v for k, v in env.items() if not k.startswith("#")}
         return None
+
+    def _enumerate(self, lowered, plan: Plan | None) -> Iterator[dict]:
+        if plan is not None:
+            return self._solve_plan(plan, {})
+        return self._solve(lowered, {})
+
+    # -- plan execution ---------------------------------------------------------------
+    def _solve_plan(self, plan: Plan, env: dict) -> Iterator[dict]:
+        if isinstance(plan, AndPlan):
+            yield from self._solve_and_plan(plan.steps, 0, env)
+        elif isinstance(plan, OrPlan):
+            for branch in plan.branches:
+                yield from self._solve_plan(branch, env)
+        elif isinstance(plan, CollectPlan):
+            yield from self._solve_collect(plan.node, env, plan.body)
+        else:
+            yield from self._solve(plan.node, env)
+
+    def _solve_and_plan(self, steps: list[Plan], index: int,
+                        env: dict) -> Iterator[dict]:
+        if index == len(steps):
+            yield env
+            return
+        step = steps[index]
+        if node_cost(step.node, env, self.context) >= COST_NOT_READY:
+            # The plan assumed a binding (or-branch intersection, collect
+            # instance) that this search path did not produce: re-derive
+            # the order dynamically for the remaining conjuncts.
+            self.stats.plan_fallbacks += 1
+            yield from self._solve_and([s.node for s in steps[index:]], env)
+            return
+        for extended in self._solve_plan(step, env):
+            yield from self._solve_and_plan(steps, index + 1, extended)
 
     # -- node dispatch ---------------------------------------------------------------
     def _solve(self, node, env: dict) -> Iterator[dict]:
@@ -95,24 +197,30 @@ class Solver:
             yield from node.impl.solve(env, node.args, self.context)
         elif isinstance(node, LCollect):
             yield from self._solve_collect(node, env)
+        elif isinstance(node, LMemo):
+            yield from self._solve_memo(node, env)
         else:
             raise IDLError(f"unknown lowered node {type(node).__name__}")
 
     def _solve_atom(self, atom: LAtom, env: dict) -> Iterator[dict]:
-        self.budget.tick()
+        self.stats.tick()
         unbound = [v for v in atom.free_vars() if v not in env]
         if not unbound:
             if self.engine.check(atom, env):
                 yield env
+            else:
+                self.stats.backtracks += 1
             return
         if len(unbound) == 1:
             var = unbound[0]
             for candidate in self.engine.candidates(atom, var, env):
-                self.budget.tick()
+                self.stats.tick()
                 trial = dict(env)
                 trial[var] = candidate
                 if self.engine.check(atom, trial):
                     yield trial
+                else:
+                    self.stats.backtracks += 1
             return
         # Multi-binding: 'reaches phi node' with the phi bound can bind both
         # the incoming value and the branch in one step.
@@ -126,12 +234,14 @@ class Solver:
                 branch = block.terminator
                 if branch is None:
                     continue
-                self.budget.tick()
+                self.stats.tick()
                 trial = dict(env)
                 trial[atom.vars[0]] = value
                 trial[atom.vars[2]] = branch
                 if self.engine.check(atom, trial):
                     yield trial
+                else:
+                    self.stats.backtracks += 1
             return
         raise IDLError(
             f"atom {atom.kind} reached with {len(unbound)} unbound "
@@ -154,7 +264,7 @@ class Solver:
             # over reads[0] of an empty collect, or an Or-branch entered
             # without its outer context). The branch fails; a counter is
             # kept so tests can flag library-level ordering bugs.
-            self.stuck_branches += 1
+            self.stats.stuck_branches += 1
             return
         chosen = children[best_index]
         rest = children[:best_index] + children[best_index + 1:]
@@ -162,27 +272,50 @@ class Solver:
             yield from self._solve_and(rest, extended)
 
     def _cost(self, node, env: dict) -> int:
-        if isinstance(node, LAtom):
-            return self.engine.cost(node, env)
-        if isinstance(node, LAnd):
-            if not node.children:
-                return 0
-            return min(self._cost(c, env) for c in node.children)
-        if isinstance(node, LOr):
-            if not node.children:
-                return 0
-            worst = max(self._cost(c, env) for c in node.children)
-            if worst >= COST_NOT_READY:
-                return COST_NOT_READY
-            return min(worst + COST_OR_DEFER, COST_NOT_READY - 1)
-        if isinstance(node, LNative):
-            return node.impl.cost(env, node.args, self.context)
-        if isinstance(node, LCollect):
-            ready = all(v in env for v in node.free_vars())
-            return COST_COLLECT if ready else COST_NOT_READY
-        raise IDLError(f"unknown lowered node {type(node).__name__}")
+        return node_cost(node, env, self.context)
 
-    def _solve_collect(self, node: LCollect, env: dict) -> Iterator[dict]:
+    # -- memoized sub-constraints -----------------------------------------------
+    def _solve_memo(self, node: LMemo, env: dict) -> Iterator[dict]:
+        """Replay the cached canonical solution set through the site's
+        variable mapping, filtering against already-bound variables."""
+        for sol in self._memo_solutions(node):
+            self.stats.tick()
+            merged = dict(env)
+            consistent = True
+            for cname, value in sol.items():
+                target = node.mapping.get(cname, cname)
+                if target in merged and \
+                        not values_equal(merged[target], value):
+                    consistent = False
+                    break
+                merged[target] = value
+            if consistent:
+                yield merged
+            else:
+                self.stats.backtracks += 1
+
+    def _memo_solutions(self, node: LMemo) -> list[dict]:
+        cache = self.context.analyses.memo_solutions
+        solutions = cache.get(node.key)
+        if solutions is not None:
+            self.stats.memo_hits += 1
+            return solutions
+        self.stats.memo_misses += 1
+        solutions = []
+        seen: set = set()
+        source = self._solve_plan(node.plan, {}) if node.plan is not None \
+            else self._solve(node.canonical, {})
+        for env in source:
+            key = tuple((k, value_key(v)) for k, v in sorted(env.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            solutions.append(env)
+        cache[node.key] = solutions
+        return solutions
+
+    def _solve_collect(self, node: LCollect, env: dict,
+                       body_plan: Plan | None = None) -> Iterator[dict]:
         """Enumerate all body solutions; bind indexed families.
 
         Per the paper: collect "capture[s] all possible solutions of a given
@@ -193,7 +326,9 @@ class Solver:
         indexed = sorted(node.indexed_vars())
         solutions: list[dict] = []
         seen: set = set()
-        for sol in self._solve(node.instance, env):
+        source = self._solve_plan(body_plan, env) if body_plan is not None \
+            else self._solve(node.instance, env)
+        for sol in source:
             key = tuple(value_key(sol[name]) for name in indexed
                         if name in sol)
             if key in seen:

@@ -62,15 +62,21 @@ class ExecutionResult:
         return sequential_time_seconds(self.opcode_counts)
 
 
-def compile_workload(name: str, source: str) -> CompiledWorkload:
-    """Compile and detect, recording wall-clock for Table 2."""
+def compile_workload(name: str, source: str, workers: int = 1,
+                     detect_mode: str = "thread") -> CompiledWorkload:
+    """Compile and detect, recording wall-clock for Table 2.
+
+    ``workers``/``detect_mode`` configure the detection session's worker
+    pool; the report is identical regardless (deterministic merge).
+    """
     import time
 
     t0 = time.perf_counter()
     module = compile_c(source, name)
     optimize(module)
     t1 = time.perf_counter()
-    report = IdiomDetector().detect(module)
+    report = IdiomDetector().detect(module, workers=workers,
+                                    mode=detect_mode)
     t2 = time.perf_counter()
     return CompiledWorkload(name, module, report,
                             compile_seconds=t1 - t0,
