@@ -89,7 +89,10 @@ class ApiCallSite:
     call_id: int
     idiom: str
     category: str
-    handler: Callable  # (args: list, interpreter) -> value
+    #: (args: list, engine) -> value. ``engine`` is the active execution
+    #: engine (reference interpreter or register VM); handlers must not
+    #: depend on engine internals beyond the shared Pointer/Buffer model.
+    handler: Callable
     description: str = ""
     #: Static workload statistics for the cost model, filled by the
     #: transformer: flops per element, bytes touched, etc.
@@ -115,11 +118,13 @@ class ApiRuntime:
         self.sites[site.callee] = site
         return site
 
-    def dispatch(self, callee: str, args: list, interpreter):
+    def dispatch(self, callee: str, args: list, engine):
+        """Run one transformed call site; ``engine`` is whichever
+        execution engine (interpreter or VM) hit the call."""
         site = self.sites.get(callee)
         if site is None:
             raise BackendError(f"no API call site registered for {callee}")
-        return site.handler(args, interpreter)
+        return site.handler(args, engine)
 
     def all_sites(self) -> list[ApiCallSite]:
         return sorted(self.sites.values(), key=lambda s: s.call_id)

@@ -1,0 +1,171 @@
+"""Execution-engine benchmark: reference tree-walker vs register VM.
+
+Runs every NAS + Parboil workload through both execution engines on
+identical inputs, checks output and dynamic-count equivalence as it goes,
+and records seconds plus dynamic-instruction throughput per workload::
+
+    PYTHONPATH=src python -m repro.experiments.bench_interp \
+        --output BENCH_interp.json
+
+CI runs the smoke variant, which re-measures a representative subset and
+fails when any workload's VM-over-reference speedup degrades more than
+``--max-ratio`` (default 2x) against the committed baseline. Comparing the
+speedup *ratio* — both engines timed on the same machine in the same
+process — keeps the gate meaningful on arbitrarily slow CI hardware::
+
+    PYTHONPATH=src python -m repro.experiments.bench_interp --check \
+        --baseline BENCH_interp.json --workloads CG IS histo sgemm stencil
+
+Per-block profile identity (stronger than the total/opcode checks here) is
+asserted by ``tests/test_vm.py`` on every workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+
+from ..runtime.runner import compile_workload, outputs_match, run_original
+from ..workloads import all_workloads
+
+
+def _timed_run(compiled, workload, scale: int, engine: str, repeat: int):
+    best, result = None, None
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        result = run_original(compiled, workload.entry,
+                              workload.make_inputs(scale), engine=engine)
+        seconds = time.perf_counter() - t0
+        best = seconds if best is None else min(best, seconds)
+    return result, best
+
+
+def run_benchmark(workload_names: list[str] | None = None, scale: int = 1,
+                  repeat: int = 1) -> dict:
+    """Measure both engines per workload, verifying equivalence en route."""
+    workloads = all_workloads()
+    if workload_names:
+        unknown = set(workload_names) - {w.name for w in workloads}
+        if unknown:
+            raise SystemExit(
+                f"unknown workloads: {', '.join(sorted(unknown))} "
+                f"(choose from {', '.join(w.name for w in workloads)})")
+    rows: dict[str, dict] = {}
+    for workload in workloads:
+        if workload_names and workload.name not in workload_names:
+            continue
+        compiled = compile_workload(workload.name, workload.source,
+                                    verify=False)
+        vm_result, vm_s = _timed_run(compiled, workload, scale, "vm", repeat)
+        ref_result, ref_s = _timed_run(compiled, workload, scale,
+                                       "reference", repeat)
+        if not outputs_match(ref_result, vm_result):
+            raise AssertionError(f"{workload.name}: engine outputs diverge")
+        if (ref_result.total_instructions != vm_result.total_instructions
+                or ref_result.opcode_counts != vm_result.opcode_counts):
+            raise AssertionError(
+                f"{workload.name}: engine dynamic counts diverge")
+        dyn = vm_result.total_instructions
+        rows[workload.name] = {
+            "dynamic_instructions": dyn,
+            "reference_seconds": round(ref_s, 4),
+            "vm_seconds": round(vm_s, 4),
+            "reference_minst_per_s": round(dyn / ref_s / 1e6, 3),
+            "vm_minst_per_s": round(dyn / vm_s / 1e6, 3),
+            "speedup": round(ref_s / vm_s, 2),
+        }
+    result = {"workloads": rows}
+    if rows:
+        speedups = [r["speedup"] for r in rows.values()]
+        geomean = math.exp(sum(math.log(s) for s in speedups)
+                           / len(speedups))
+        result["suite"] = {
+            "geomean_speedup": round(geomean, 2),
+            "reference_seconds": round(
+                sum(r["reference_seconds"] for r in rows.values()), 4),
+            "vm_seconds": round(
+                sum(r["vm_seconds"] for r in rows.values()), 4),
+            "dynamic_instructions": sum(
+                r["dynamic_instructions"] for r in rows.values()),
+        }
+    return result
+
+
+def check_regression(baseline: dict, current: dict,
+                     max_ratio: float) -> list[str]:
+    """Workloads whose VM speedup degraded beyond ``max_ratio``."""
+    failures = []
+    for name, row in current["workloads"].items():
+        base_row = baseline["workloads"].get(name)
+        if base_row is None:
+            continue
+        base = base_row["speedup"]
+        now = row["speedup"]
+        if base > 0 and now < base / max_ratio:
+            failures.append(
+                f"{name}: vm speedup {now:.2f}x vs baseline {base:.2f}x "
+                f"(> {max_ratio:.1f}x throughput regression)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench-interp",
+        description="Benchmark the reference interpreter vs the register VM")
+    parser.add_argument("--output", default=None,
+                        help="write full results JSON here")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="restrict to these benchmarks (default: all)")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="problem-size multiplier (default 1)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="timing repetitions, best-of (default 1)")
+    parser.add_argument("--check", action="store_true",
+                        help="regression-check vm speedups against "
+                             "--baseline")
+    parser.add_argument("--baseline", default="BENCH_interp.json")
+    parser.add_argument("--max-ratio", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(args.workloads, scale=args.scale,
+                           repeat=args.repeat)
+
+    for name, row in result["workloads"].items():
+        print(f"{name:8s} ref={row['reference_seconds']:>8.3f}s "
+              f"vm={row['vm_seconds']:>7.3f}s "
+              f"({row['speedup']:.2f}x, "
+              f"{row['vm_minst_per_s']:.2f} Minst/s)")
+    suite = result.get("suite")
+    if suite:
+        print(f"suite    ref={suite['reference_seconds']:.2f}s "
+              f"vm={suite['vm_seconds']:.2f}s "
+              f"(geomean {suite['geomean_speedup']:.2f}x)")
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.check:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except FileNotFoundError:
+            print(f"baseline {args.baseline!r} not found — generate it "
+                  f"with --output first", file=sys.stderr)
+            return 2
+        failures = check_regression(baseline, result, args.max_ratio)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"vm speedups within {args.max_ratio:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

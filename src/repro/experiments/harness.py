@@ -23,6 +23,8 @@ from ..platform.cost import (
 )
 from ..platform.machine import MACHINES
 from ..runtime.runner import (
+    DEFAULT_ENGINE,
+    ENGINES,
     CompiledWorkload,
     compile_workload,
     outputs_match,
@@ -69,34 +71,48 @@ _CACHE: dict[str, WorkloadEvaluation] = {}
 DETECT_WORKERS = 1
 DETECT_MODE = "thread"
 
+#: Execution defaults, settable from the CLI (``--engine`` / ``--scale``).
+#: Engines are output- and profile-identical, so results only depend on the
+#: scale; both stay in the cache key because wall-clock measurements differ.
+ENGINE = DEFAULT_ENGINE
+SCALE = 1
 
-def evaluate_workload(workload: Workload, scale: int = 1,
+
+def evaluate_workload(workload: Workload, scale: int | None = None,
                       execute: bool = True,
-                      workers: int | None = None) -> WorkloadEvaluation:
+                      workers: int | None = None,
+                      engine: str | None = None) -> WorkloadEvaluation:
     """Compile, detect, (optionally) run original + accelerated versions."""
     effective_workers = DETECT_WORKERS if workers is None else workers
+    scale = SCALE if scale is None else scale
+    engine = ENGINE if engine is None else engine
     # The report is worker-count independent, but the recorded detection
     # wall clock is not — keep the pool config in the cache key.
     key = f"{workload.name}@{scale}:{execute}:{effective_workers}:" \
-          f"{DETECT_MODE}"
+          f"{DETECT_MODE}:{engine}"
     if key in _CACHE:
         return _CACHE[key]
     compiled = compile_workload(
         workload.name, workload.source,
         workers=effective_workers,
-        detect_mode=DETECT_MODE)
+        detect_mode=DETECT_MODE,
+        verify=False)
     ev = WorkloadEvaluation(workload, compiled,
                             compile_base_s=compiled.compile_seconds,
                             compile_idl_s=compiled.detect_seconds)
     if execute:
         inputs = workload.make_inputs(scale)
-        original = run_original(compiled, workload.entry, inputs)
+        original = run_original(compiled, workload.entry, inputs,
+                                engine=engine)
         ev.coverage = original.coverage
         ev.sequential_seconds = original.sequential_seconds
         if workload.dominant:
-            accel_compiled = compile_workload(workload.name, workload.source)
-            accelerated = run_accelerated(accel_compiled, workload.entry,
-                                          workload.make_inputs(scale))
+            # The original run has already captured its outputs in private
+            # buffers, so the accelerated run can transform the same
+            # compiled module in place — no second compile+detect pass.
+            accelerated = run_accelerated(compiled, workload.entry,
+                                          workload.make_inputs(scale),
+                                          engine=engine)
             ev.outputs_equal = outputs_match(original, accelerated)
             ev.sites = accelerated.api_runtime.all_sites() \
                 if accelerated.api_runtime else []
@@ -264,7 +280,7 @@ def _accelerated_seconds(ev: WorkloadEvaluation, api, machine,
     return total if used_api else None
 
 
-def table3(scale: int = 1) -> dict:
+def table3(scale: int | None = None) -> dict:
     """benchmark -> platform -> api -> simulated milliseconds."""
     results: dict = {}
     for workload in dominant_workloads():
@@ -411,7 +427,7 @@ _EXPERIMENTS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    global DETECT_WORKERS, DETECT_MODE
+    global DETECT_WORKERS, DETECT_MODE, ENGINE, SCALE
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -422,9 +438,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--detect-mode", choices=["thread", "process"],
                         default="thread",
                         help="worker pool flavour for detection")
+    parser.add_argument("--engine", choices=sorted(ENGINES),
+                        default=DEFAULT_ENGINE,
+                        help=f"execution engine (default {DEFAULT_ENGINE}; "
+                             "'reference' is the tree-walking interpreter)")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="problem-size multiplier for workload inputs "
+                             "(default 1; larger-than-paper sizes need the "
+                             "vm engine to stay tractable)")
     args = parser.parse_args(argv)
     DETECT_WORKERS = args.workers
     DETECT_MODE = args.detect_mode
+    ENGINE = args.engine
+    SCALE = args.scale
     if args.experiment == "all":
         for fn in _EXPERIMENTS.values():
             fn()

@@ -19,25 +19,45 @@ from .promote import forward_stores, promote_loop_accumulators
 from .simplifycfg import remove_unreachable_blocks, simplify_cfg
 
 
+#: The fixed-point pass sequence. Order matters; each entry is a
+#: deterministic function(function) -> number of changes.
+_PIPELINE = (
+    fold_constants,
+    combine_instructions,
+    eliminate_common_subexpressions,
+    eliminate_redundant_loads,
+    eliminate_dead_code,
+    simplify_cfg,
+    remove_trivial_phis,
+    hoist_loop_invariants,
+    forward_stores,
+    promote_loop_accumulators,
+)
+
+
 def optimize_function(function: Function, verify: bool = True) -> None:
     if function.is_declaration():
         return
     remove_unreachable_blocks(function)
     promote_allocas(function)
-    for _ in range(8):  # fixed-point iteration with a safety bound
-        changed = 0
-        changed += fold_constants(function)
-        changed += combine_instructions(function)
-        changed += eliminate_common_subexpressions(function)
-        changed += eliminate_redundant_loads(function)
-        changed += eliminate_dead_code(function)
-        changed += simplify_cfg(function)
-        changed += remove_trivial_phis(function)
-        changed += hoist_loop_invariants(function)
-        changed += forward_stores(function)
-        changed += promote_loop_accumulators(function)
-        if not changed:
+    # Worklist-style fixed point: a pass is re-run only while "dirty" —
+    # i.e. some pass has changed the IR since its last run. A clean pass
+    # is deterministic over unchanged IR, so skipping it elides a provable
+    # no-op: the sequence of IR-changing runs (and the final IR) is
+    # identical to naively re-running every pass each round, but the
+    # convergence-confirmation runs disappear. ``verify_function`` runs
+    # once, after convergence.
+    dirty = [True] * len(_PIPELINE)
+    for _ in range(8):  # safety bound, as before
+        if not any(dirty):
             break
+        for i, pass_fn in enumerate(_PIPELINE):
+            if not dirty[i]:
+                continue
+            dirty[i] = False
+            if pass_fn(function):
+                for j in range(len(dirty)):
+                    dirty[j] = True
     if verify:
         verify_function(function)
 

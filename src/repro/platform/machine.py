@@ -77,9 +77,15 @@ MACHINES: dict[str, Machine] = {m.name: m for m in (CPU, IGPU, GPU)}
 
 
 def sequential_time_seconds(opcode_counts: dict[str, int]) -> float:
-    """Simulated single-core time for the given dynamic opcode counts."""
+    """Simulated single-core time for the given dynamic opcode counts.
+
+    Summed in sorted opcode order so the result is independent of dict
+    insertion order — the execution engines tally identical counts but
+    discover blocks in different orders, and float addition is not
+    associative.
+    """
     costs = CPU.scalar_ns or {}
     total_ns = 0.0
-    for opcode, count in opcode_counts.items():
-        total_ns += count * costs.get(opcode, 1.0)
+    for opcode in sorted(opcode_counts):
+        total_ns += opcode_counts[opcode] * costs.get(opcode, 1.0)
     return total_ns * 1e-9

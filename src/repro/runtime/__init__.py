@@ -1,18 +1,30 @@
-"""Execution substrate: memory model, IR interpreter, benchmark runner."""
+"""Execution substrate: memory model, execution engines, benchmark runner.
 
+Two engines share one semantic contract (identical outputs and
+count-identical profiles): the reference tree-walking ``Interpreter`` and
+the bytecode-compiling ``VirtualMachine`` (the default).
+"""
+
+from .bytecode import BytecodeFunction, compile_function
 from .interpreter import Interpreter, Profile
 from .memory import Buffer, Pointer, dtype_of, scalar_count, scalar_type_of
 from .runner import (
+    DEFAULT_ENGINE,
+    ENGINES,
     CompiledWorkload,
     ExecutionResult,
     compile_workload,
+    new_engine,
     outputs_match,
     run_accelerated,
     run_original,
 )
+from .vm import VirtualMachine
 
 __all__ = [
-    "Interpreter", "Profile",
+    "Interpreter", "Profile", "VirtualMachine",
+    "BytecodeFunction", "compile_function",
+    "ENGINES", "DEFAULT_ENGINE", "new_engine",
     "Buffer", "Pointer", "dtype_of", "scalar_count", "scalar_type_of",
     "CompiledWorkload", "ExecutionResult", "compile_workload",
     "outputs_match", "run_accelerated", "run_original",

@@ -8,8 +8,6 @@ arithmetic uses the static type layout to convert indices to offsets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from ..errors import InterpreterError
@@ -88,12 +86,25 @@ class Buffer:
         return f"<Buffer {self.name} x{self.size}>"
 
 
-@dataclass(frozen=True)
 class Pointer:
-    """A fat pointer: buffer plus element offset."""
+    """A fat pointer: buffer plus element offset.
 
-    buffer: Buffer
-    offset: int = 0
+    A ``__slots__`` class rather than a dataclass: the execution engines
+    allocate one per GEP, so construction cost is on the hot path.
+    """
+
+    __slots__ = ("buffer", "offset")
+
+    def __init__(self, buffer: Buffer, offset: int = 0):
+        self.buffer = buffer
+        self.offset = offset
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Pointer) and other.buffer is self.buffer
+                and other.offset == self.offset)
+
+    def __hash__(self) -> int:
+        return hash((id(self.buffer), self.offset))
 
     def add(self, elements: int) -> "Pointer":
         return Pointer(self.buffer, self.offset + elements)

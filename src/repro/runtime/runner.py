@@ -25,7 +25,24 @@ from ..passes import optimize
 from ..platform.machine import sequential_time_seconds
 from .interpreter import Interpreter
 from .memory import Buffer, Pointer
+from .vm import VirtualMachine
 
+#: Available execution engines. ``vm`` (the default) compiles functions to
+#: flat register bytecode once and runs them ~an order of magnitude faster;
+#: ``reference`` is the original tree-walking interpreter, kept as the
+#: semantic baseline (profiles are count-identical between the two).
+ENGINES = {"reference": Interpreter, "vm": VirtualMachine}
+DEFAULT_ENGINE = "vm"
+
+
+def new_engine(module: Module, engine: str | None = None, api_runtime=None):
+    """Instantiate an execution engine by name (None → DEFAULT_ENGINE)."""
+    name = engine or DEFAULT_ENGINE
+    cls = ENGINES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown engine {name!r} "
+                         f"(choose from {', '.join(sorted(ENGINES))})")
+    return cls(module, api_runtime=api_runtime)
 
 
 @dataclass
@@ -63,17 +80,20 @@ class ExecutionResult:
 
 
 def compile_workload(name: str, source: str, workers: int = 1,
-                     detect_mode: str = "thread") -> CompiledWorkload:
+                     detect_mode: str = "thread",
+                     verify: bool = True) -> CompiledWorkload:
     """Compile and detect, recording wall-clock for Table 2.
 
     ``workers``/``detect_mode`` configure the detection session's worker
     pool; the report is identical regardless (deterministic merge).
+    ``verify=False`` skips post-convergence IR verification — the
+    experiment harness's hot path; tests keep it on.
     """
     import time
 
     t0 = time.perf_counter()
     module = compile_c(source, name)
-    optimize(module)
+    optimize(module, verify=verify)
     t1 = time.perf_counter()
     report = IdiomDetector().detect(module, workers=workers,
                                     mode=detect_mode)
@@ -83,7 +103,7 @@ def compile_workload(name: str, source: str, workers: int = 1,
                             detect_seconds=t2 - t1)
 
 
-def _bind_arguments(interpreter: Interpreter, module: Module, entry: str,
+def _bind_arguments(interpreter, module: Module, entry: str,
                     inputs: dict) -> tuple[list, dict[str, Buffer]]:
     """Convert python/numpy inputs to interpreter argument values."""
     function = module.get_function(entry)
@@ -103,10 +123,10 @@ def _bind_arguments(interpreter: Interpreter, module: Module, entry: str,
     return args, buffers
 
 
-def run_original(workload: CompiledWorkload, entry: str,
-                 inputs: dict) -> ExecutionResult:
-    """Interpret the unmodified module, attributing idiom coverage."""
-    interpreter = Interpreter(workload.module)
+def run_original(workload: CompiledWorkload, entry: str, inputs: dict,
+                 engine: str | None = None) -> ExecutionResult:
+    """Execute the unmodified module, attributing idiom coverage."""
+    interpreter = new_engine(workload.module, engine)
     args, buffers = _bind_arguments(interpreter, workload.module, entry,
                                     inputs)
     value = interpreter.call(entry, args)
@@ -127,12 +147,13 @@ def run_original(workload: CompiledWorkload, entry: str,
 
 
 def run_accelerated(workload: CompiledWorkload, entry: str, inputs: dict,
-                    matches: list[IdiomMatch] | None = None
-                    ) -> ExecutionResult:
-    """Transform the matched idioms to API calls, then interpret.
+                    matches: list[IdiomMatch] | None = None,
+                    engine: str | None = None) -> ExecutionResult:
+    """Transform the matched idioms to API calls, then execute.
 
     The transformation mutates ``workload.module`` in place, so callers
-    wanting to compare against the original must compile a fresh copy.
+    wanting to compare against the original must either run the original
+    first or compile a fresh copy.
     """
     from ..transform.replace import Transformer
 
@@ -140,7 +161,7 @@ def run_accelerated(workload: CompiledWorkload, entry: str, inputs: dict,
     transformer = Transformer(workload.module, runtime)
     applied = transformer.apply(matches if matches is not None
                                 else list(workload.report.matches))
-    interpreter = Interpreter(workload.module, api_runtime=runtime)
+    interpreter = new_engine(workload.module, engine, api_runtime=runtime)
     args, buffers = _bind_arguments(interpreter, workload.module, entry,
                                     inputs)
     value = interpreter.call(entry, args)
