@@ -1,16 +1,26 @@
-"""Heterogeneous API backends: simulated vendor libraries and mini-DSLs."""
+"""Heterogeneous API backends: simulated vendor libraries and mini-DSLs,
+discoverable through the pluggable :mod:`~repro.backends.registry`."""
 
-from . import blas, halide, lift, sparse
+from . import blas, fft, halide, lift, parallel_cpu, sparse
 from .api import (
     API_DESCRIPTORS,
     ApiCallSite,
     ApiDescriptor,
     ApiRuntime,
+    FrozenMap,
     apis_for,
+)
+from .registry import (
+    BackendEntry,
+    BackendRegistry,
+    LoweringContract,
+    default_registry,
 )
 
 __all__ = [
-    "blas", "halide", "lift", "sparse",
+    "blas", "fft", "halide", "lift", "parallel_cpu", "sparse",
     "API_DESCRIPTORS", "ApiCallSite", "ApiDescriptor", "ApiRuntime",
-    "apis_for",
+    "FrozenMap", "apis_for",
+    "BackendEntry", "BackendRegistry", "LoweringContract",
+    "default_registry",
 ]

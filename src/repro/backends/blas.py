@@ -51,6 +51,16 @@ def gemm_2d(a: np.ndarray, a_colmajor: bool, b: np.ndarray, b_colmajor: bool,
     return c[:n, :m]
 
 
+def matmul_tt(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """out[i, j] = Σ_k a[i, k] · b[j, k] — both operands contraction-last.
+
+    The kernel role the GEMM lowering contract supplies: operand views are
+    normalised to [out_index, contraction] by the transformer, this does
+    the multiply.
+    """
+    return np.einsum("ik,jk->ij", a, b)
+
+
 def dot(x: np.ndarray, y: np.ndarray) -> float:
     return float(np.dot(x, y))
 
@@ -58,3 +68,21 @@ def dot(x: np.ndarray, y: np.ndarray) -> float:
 def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
     y += alpha * x
     return y
+
+
+def register_backend(registry) -> None:
+    """Register the dense linear-algebra backend: four vendor BLAS
+    descriptors sharing one GEMM lowering contract."""
+    from .api import CLBLAS, CLBLAST, CUBLAS, MKL
+    from .registry import BackendEntry, LoweringContract
+
+    contract = LoweringContract(
+        backend="blas", category="matrix_op",
+        requires=("loop[0].iter_begin", "loop[0].iter_end",
+                  "loop[1].iter_end", "loop[2].iter_end"),
+        kernels={"matmul_tt": matmul_tt},
+        emits="C = beta*C + alpha*(A·Bᵀ) over normalised operand views")
+    registry.register(BackendEntry(
+        name="blas", title="Dense BLAS libraries",
+        descriptors=(MKL, CUBLAS, CLBLAS, CLBLAST),
+        contracts={"matrix_op": contract}))

@@ -206,3 +206,23 @@ def stencil_to_halide(kernel_expr, read_offsets: list[tuple],
     func.parallel(variables[0])
     func.vectorize(variables[-1], 8)
     return func
+
+
+def register_backend(registry) -> None:
+    """Register the Halide backend: a stencil lowering contract whose
+    handler evaluates the shared kernel expression (bit-identical to the
+    sequential loop), with the pipeline translator exposed for the DSL
+    code path (``stencil_to_dsl`` example, C backend)."""
+    from ..transform.kernels import evaluate
+    from .api import HALIDE
+    from .registry import BackendEntry, LoweringContract
+
+    contract = LoweringContract(
+        backend="halide", category="stencil",
+        requires=("kernel.output",),
+        kernels={"evaluate": evaluate, "pipeline": stencil_to_halide},
+        emits="shifted-slice kernel evaluation over the index box")
+    registry.register(BackendEntry(
+        name="halide", title="Halide image-pipeline DSL",
+        descriptors=(HALIDE,),
+        contracts={"stencil": contract}))

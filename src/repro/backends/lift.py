@@ -202,3 +202,36 @@ def gemm_in_lift(alpha: float = 1.0, beta: float = 0.0) -> Pattern:
     return Map(UserFun("gemm_row", 3, full), Zip((Input("A"), Input("Bt"),
                                                   Input("C"))),
                device="global")
+
+
+def register_backend(registry) -> None:
+    """Register the Lift backend: reduction / histogram / stencil lowering
+    contracts around the shared kernel evaluator, with the pattern
+    translators exposed for the DSL code path."""
+    from ..transform.kernels import evaluate
+    from .api import LIFT
+    from .registry import BackendEntry, LoweringContract
+
+    reduction = LoweringContract(
+        backend="lift", category="scalar_reduction",
+        requires=("old_value", "iter_begin", "iter_end", "ind_init",
+                  "kernel.output"),
+        kernels={"evaluate": evaluate, "pipeline": reduction_to_lift},
+        emits="reduce(op, init, map(delta, zip(inputs)))")
+    histogram = LoweringContract(
+        backend="lift", category="histogram_reduction",
+        requires=("base_pointer", "old_value", "iter_begin", "iter_end",
+                  "kernel.output", "indexkernel.output", "store"),
+        kernels={"evaluate": evaluate},
+        emits="guarded scatter-accumulate over computed bins")
+    stencil = LoweringContract(
+        backend="lift", category="stencil",
+        requires=("kernel.output",),
+        kernels={"evaluate": evaluate},
+        emits="shifted-slice kernel evaluation over the index box")
+    registry.register(BackendEntry(
+        name="lift", title="Lift data-parallel pattern DSL",
+        descriptors=(LIFT,),
+        contracts={"scalar_reduction": reduction,
+                   "histogram_reduction": histogram,
+                   "stencil": stencil}))

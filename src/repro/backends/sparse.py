@@ -41,6 +41,25 @@ def csr_from_dense(dense: np.ndarray):
             np.asarray(values, dtype=np.float64))
 
 
+def register_backend(registry) -> None:
+    """Register the sparse backend: three SPMV library descriptors behind
+    one CSR lowering contract."""
+    from .api import CLSPARSE, CUSPARSE, LIBSPMV
+    from .registry import BackendEntry, LoweringContract
+
+    contract = LoweringContract(
+        backend="sparse", category="sparse_matrix_op",
+        requires=("iter_begin", "iter_end", "ranges.lo_address",
+                  "idx_read.address", "seq_read.address",
+                  "indir_read.address", "output.address"),
+        kernels={"spmv": csr_spmv},
+        emits="y[lo:hi] = CSR(row_ptr, col, val) · x via segmented sum")
+    registry.register(BackendEntry(
+        name="sparse", title="Sparse matrix libraries",
+        descriptors=(CUSPARSE, CLSPARSE, LIBSPMV),
+        contracts={"sparse_matrix_op": contract}))
+
+
 def random_csr(rows: int, cols: int, nnz_per_row: int, seed: int = 7):
     """A reproducible random CSR matrix (CG/spmv workload inputs)."""
     rng = np.random.default_rng(seed)

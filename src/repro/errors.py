@@ -80,6 +80,10 @@ class BackendError(ReproError):
     """A heterogeneous API backend rejected or failed a request."""
 
 
+class PlacementError(ReproError):
+    """The offload planner could not produce a valid assignment."""
+
+
 class InterpreterError(ReproError):
     """Runtime failure while interpreting IR."""
 

@@ -1,0 +1,189 @@
+"""Offload-planner benchmark: whole-module placement vs per-site greedy.
+
+For every dominant NAS + Parboil workload this runs the full pipeline
+(compile → detect → transform → execute, collecting the residency event
+log), then costs two assignments under the **exact** residency model:
+
+* ``greedy`` — the seed policy: each call site placed in isolation by the
+  legacy roofline formula (lazy per-call transfer division only where the
+  paper's §8.3 optimisation applied), and
+* the planner (``beam`` by default) — whole-module placement over the
+  buffer-residency graph.
+
+It also replays the transformed module on the reference interpreter and
+asserts the accelerated outputs are **bit-identical** across engines —
+placement is a costing layer, the numerics must not depend on it::
+
+    PYTHONPATH=src python -m repro.experiments.bench_offload \
+        --output BENCH_offload.json
+
+CI runs the check variant, which fails if the planner is ever worse than
+per-site greedy on any workload, if fewer than three workloads improve
+strictly, or if outputs diverge between engines::
+
+    PYTHONPATH=src python -m repro.experiments.bench_offload --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..runtime.runner import (
+    compile_workload,
+    outputs_identical,
+    run_accelerated,
+)
+from ..workloads import dominant_workloads
+from . import harness
+
+#: Relative slack for the planner-vs-greedy comparison: both numbers come
+#: from one deterministic simulation, so this only absorbs float noise.
+EPSILON = 1e-9
+
+
+def run_benchmark(workload_names: list[str] | None = None,
+                  strategy: str = "beam") -> dict:
+    """Per-workload planner-vs-greedy totals plus equivalence checks."""
+    workloads = dominant_workloads()
+    if workload_names:
+        unknown = set(workload_names) - {w.name for w in workloads}
+        if unknown:
+            raise SystemExit(
+                f"unknown workloads: {', '.join(sorted(unknown))} "
+                f"(choose from {', '.join(w.name for w in workloads)})")
+    rows: dict[str, dict] = {}
+    for workload in workloads:
+        if workload_names and workload.name not in workload_names:
+            continue
+        ev = harness.evaluate_workload(workload)
+        greedy, planner = harness.workload_plans(ev, strategy)
+
+        # Engine/placement invariance: the accelerated module must produce
+        # bit-identical outputs on the reference interpreter (placement
+        # never touches numerics — it only costs assignments).
+        inputs = workload.make_inputs(1)
+        vm_run = run_accelerated(
+            compile_workload(workload.name, workload.source, verify=False),
+            workload.entry, inputs, engine="vm",
+            placement=planner.locations())
+        ref_run = run_accelerated(
+            compile_workload(workload.name, workload.source, verify=False),
+            workload.entry, workload.make_inputs(1), engine="reference",
+            placement=planner.locations())
+        identical = outputs_identical(vm_run, ref_run)
+        # evaluate_workload already compared this accelerated module
+        # against a full original run on identical inputs.
+        matches_original = bool(ev.outputs_equal)
+
+        rows[workload.name] = {
+            "sites": len(ev.sites),
+            "events": len(ev.events),
+            "greedy_ms": round(greedy.total_s * 1e3, 6),
+            "planner_ms": round(planner.total_s * 1e3, 6),
+            "speedup": round(greedy.total_s / planner.total_s, 4)
+            if planner.total_s > 0 else 1.0,
+            "strictly_better": planner.total_s
+            < greedy.total_s * (1.0 - 1e-12) - 1e-15,
+            "engines_bit_identical": identical,
+            "outputs_match_original": matches_original,
+            "assignment": [
+                f"{s['api']}@{s['device']}"
+                for s in planner.as_dict()["sites"]
+            ],
+        }
+    result = {"strategy": strategy, "workloads": rows}
+    if rows:
+        greedy_total = sum(r["greedy_ms"] for r in rows.values())
+        planner_total = sum(r["planner_ms"] for r in rows.values())
+        result["suite"] = {
+            "greedy_ms": round(greedy_total, 6),
+            "planner_ms": round(planner_total, 6),
+            "speedup": round(greedy_total / planner_total, 4)
+            if planner_total > 0 else 1.0,
+            "strictly_better": sum(
+                1 for r in rows.values() if r["strictly_better"]),
+        }
+    return result
+
+
+def check_invariants(result: dict) -> list[str]:
+    """The planner contract: never worse than greedy, strictly better on
+    at least three workloads (enforced whenever the run covers enough of
+    the suite for that to be meaningful), numerics engine- and
+    placement-invariant."""
+    failures = []
+    for name, row in result["workloads"].items():
+        if row["planner_ms"] > row["greedy_ms"] * (1.0 + EPSILON):
+            failures.append(
+                f"{name}: planner {row['planner_ms']:.3f}ms worse than "
+                f"per-site greedy {row['greedy_ms']:.3f}ms")
+        if not row["engines_bit_identical"]:
+            failures.append(
+                f"{name}: accelerated outputs differ between engines")
+        if not row["outputs_match_original"]:
+            failures.append(
+                f"{name}: accelerated outputs diverge from the original")
+    suite = result.get("suite")
+    if suite is not None and len(result["workloads"]) >= 5 and \
+            suite["strictly_better"] < 3:
+        failures.append(
+            f"planner strictly better on only {suite['strictly_better']} "
+            f"workloads (need >= 3)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench-offload",
+        description="Benchmark the whole-module offload planner against "
+                    "per-site greedy placement")
+    parser.add_argument("--output", default=None,
+                        help="write full results JSON here")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="restrict to these benchmarks (default: all "
+                             "dominant)")
+    parser.add_argument("--strategy", choices=["beam", "exhaustive"],
+                        default="beam",
+                        help="planner strategy to compare (default beam)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if the planner is worse than greedy "
+                             "anywhere, improves fewer than 3 workloads, "
+                             "or outputs diverge")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(args.workloads, strategy=args.strategy)
+
+    for name, row in result["workloads"].items():
+        marker = "*" if row["strictly_better"] else " "
+        print(f"{name:8s} greedy={row['greedy_ms']:>12.3f}ms "
+              f"planner={row['planner_ms']:>12.3f}ms "
+              f"({row['speedup']:.2f}x{marker}, {row['sites']} sites, "
+              f"{row['events']} events)")
+    suite = result.get("suite")
+    if suite:
+        print(f"suite    greedy={suite['greedy_ms']:.3f}ms "
+              f"planner={suite['planner_ms']:.3f}ms "
+              f"({suite['speedup']:.2f}x, strictly better on "
+              f"{suite['strictly_better']})")
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.check:
+        failures = check_invariants(result)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("planner invariants hold: never worse than per-site greedy, "
+              "outputs engine- and placement-invariant")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

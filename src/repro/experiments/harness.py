@@ -13,6 +13,7 @@ import sys
 from dataclasses import dataclass, field
 
 from ..backends.api import API_DESCRIPTORS, ApiCallSite
+from ..backends.registry import default_registry
 from ..detect.baselines import baseline_counts
 from ..platform.cost import (
     OPENCL,
@@ -22,6 +23,12 @@ from ..platform.cost import (
     site_cost,
 )
 from ..platform.machine import MACHINES
+from ..platform.placement import (
+    STRATEGIES,
+    PlacementPlan,
+    plan_module,
+    site_at_scale,
+)
 from ..runtime.runner import (
     DEFAULT_ENGINE,
     ENGINES,
@@ -61,6 +68,15 @@ class WorkloadEvaluation:
     sites: list[ApiCallSite] = field(default_factory=list)
     compile_base_s: float = 0.0
     compile_idl_s: float = 0.0
+    #: Residency event log from the accelerated run (placement input).
+    events: list = field(default_factory=list)
+    events_overflowed: bool = False
+
+    @property
+    def uncovered_seconds(self) -> float:
+        """Paper-scale host time outside the replaced idioms."""
+        return self.sequential_seconds * self.workload.paper_scale * \
+            (1.0 - self.coverage)
 
 
 _CACHE: dict[str, WorkloadEvaluation] = {}
@@ -77,6 +93,12 @@ DETECT_MODE = "thread"
 ENGINE = DEFAULT_ENGINE
 SCALE = 1
 
+#: Offload configuration, settable from the CLI (``--backends`` /
+#: ``--placement``): which registry backends may lower and run matches,
+#: and which planner strategy the placement experiment uses.
+BACKENDS: list[str] | None = None
+PLACEMENT = "beam"
+
 
 def evaluate_workload(workload: Workload, scale: int | None = None,
                       execute: bool = True,
@@ -88,8 +110,9 @@ def evaluate_workload(workload: Workload, scale: int | None = None,
     engine = ENGINE if engine is None else engine
     # The report is worker-count independent, but the recorded detection
     # wall clock is not — keep the pool config in the cache key.
+    backends_key = "*" if BACKENDS is None else ",".join(sorted(BACKENDS))
     key = f"{workload.name}@{scale}:{execute}:{effective_workers}:" \
-          f"{DETECT_MODE}:{engine}"
+          f"{DETECT_MODE}:{engine}:{backends_key}"
     if key in _CACHE:
         return _CACHE[key]
     compiled = compile_workload(
@@ -112,10 +135,13 @@ def evaluate_workload(workload: Workload, scale: int | None = None,
             # compiled module in place — no second compile+detect pass.
             accelerated = run_accelerated(compiled, workload.entry,
                                           workload.make_inputs(scale),
-                                          engine=engine)
+                                          engine=engine, backends=BACKENDS)
             ev.outputs_equal = outputs_match(original, accelerated)
-            ev.sites = accelerated.api_runtime.all_sites() \
-                if accelerated.api_runtime else []
+            runtime = accelerated.api_runtime
+            if runtime is not None:
+                ev.sites = runtime.all_sites()
+                ev.events = list(runtime.events)
+                ev.events_overflowed = runtime.events_overflowed
     _CACHE[key] = ev
     return ev
 
@@ -228,25 +254,6 @@ def print_fig17() -> dict:
 # Table 3 / Figure 18 / Figure 19 — performance
 # ---------------------------------------------------------------------------
 
-def _scaled_stats(site: ApiCallSite, scale: float) -> dict:
-    """Extrapolate dynamic statistics to paper-scale problem sizes.
-
-    GEMM's data grows as N² while its work grows as N³, so its bytes scale
-    with the 2/3 power of the element factor; everything else is linear.
-    """
-    stats = dict(site.stats)
-    byte_scale = scale ** (2.0 / 3.0) if site.category == "matrix_op" \
-        else scale
-    stats["elements"] = stats.get("elements", 0) * scale
-    stats["bytes"] = stats.get("bytes", 0) * byte_scale
-    return stats
-
-
-def _site_at_scale(site: ApiCallSite, scale: float) -> ApiCallSite:
-    clone = ApiCallSite(site.call_id, site.idiom, site.category,
-                        site.handler, site.description)
-    clone.stats = _scaled_stats(site, scale)
-    return clone
 
 
 def _accelerated_seconds(ev: WorkloadEvaluation, api, machine,
@@ -262,12 +269,12 @@ def _accelerated_seconds(ev: WorkloadEvaluation, api, machine,
     if not ev.sites:
         return None
     scale = ev.workload.paper_scale
-    seq = ev.sequential_seconds * scale
-    uncovered = seq * (1.0 - ev.coverage)
-    total = uncovered
+    total = ev.uncovered_seconds
     used_api = False
     for site in ev.sites:
-        scaled = _site_at_scale(site, scale)
+        # Shared with the placement layer: matrix_op bytes scale with the
+        # 2/3 power of the element factor, everything else linearly.
+        scaled = site_at_scale(site, scale)
         if api.supports(machine.name, site.category):
             used_api = True
             total += site_cost(scaled, api, machine, lazy).total_s
@@ -412,8 +419,95 @@ def print_fig19() -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Offload placement — residency-aware whole-module planning
+# ---------------------------------------------------------------------------
+
+def workload_plans(ev: WorkloadEvaluation,
+                   strategy: str | None = None
+                   ) -> tuple[PlacementPlan, PlacementPlan]:
+    """(per-site-greedy plan, planner plan) for one evaluated workload.
+
+    Both are costed under the exact residency model, so the comparison
+    isolates *assignment quality*: greedy places each site in isolation
+    with the legacy lazy/eager formula (the seed policy, lazy only where
+    the paper's §8.3 optimisation applied), the planner optimises the
+    whole module.
+    """
+    strategy = PLACEMENT if strategy is None else strategy
+    kwargs = dict(
+        backends=BACKENDS,
+        host_seconds=ev.uncovered_seconds,
+        scale=ev.workload.paper_scale,
+        greedy_lazy=ev.workload.name in LAZY_BENCHMARKS,
+        events_overflowed=ev.events_overflowed,
+    )
+    greedy = plan_module(ev.sites, ev.events, strategy="greedy", **kwargs)
+    planner = plan_module(ev.sites, ev.events, strategy=strategy, **kwargs)
+    return greedy, planner
+
+
+def placement() -> dict:
+    """benchmark -> {greedy_ms, planner_ms, speedup, sites}."""
+    results: dict = {}
+    for workload in dominant_workloads():
+        ev = evaluate_workload(workload)
+        greedy, planner = workload_plans(ev)
+        results[workload.name] = {
+            "greedy_ms": greedy.total_s * 1e3,
+            "planner_ms": planner.total_s * 1e3,
+            "speedup": greedy.total_s / planner.total_s
+            if planner.total_s > 0 else 1.0,
+            "strategy": planner.strategy,
+            "sites": planner.as_dict()["sites"],
+        }
+    return results
+
+
+def print_placement() -> dict:
+    data = placement()
+    print(f"\nOffload placement: whole-module planner ({PLACEMENT}) vs "
+          f"per-site greedy (simulated ms)")
+    print(f"{'bench':8s}{'greedy':>12s}{'planner':>12s}{'gain':>8s}"
+          f"   assignment")
+    for name, row in data.items():
+        assigns = ", ".join(f"{s['api']}@{s['device']}"
+                            for s in row["sites"][:4])
+        if len(row["sites"]) > 4:
+            assigns += f", … ({len(row['sites'])} sites)"
+        print(f"{name:8s}{row['greedy_ms']:>12.3f}{row['planner_ms']:>12.3f}"
+              f"{row['speedup']:>7.2f}x   {assigns}")
+    return data
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
+
+def print_catalog() -> None:
+    """``--list``: workloads, engines, backends, placement strategies."""
+    print("Workloads (NAS + Parboil recreations):")
+    for w in all_workloads():
+        census = ", ".join(f"{c}:{n}" for c, n in sorted(w.expected.items())
+                           if n) or "-"
+        flag = " [dominant]" if w.dominant else ""
+        print(f"  {w.name:8s} {w.suite:8s} {census}{flag}")
+    print("\nExecution engines (--engine):")
+    for name in sorted(ENGINES):
+        default = " (default)" if name == DEFAULT_ENGINE else ""
+        print(f"  {name}{default}")
+    print("\nBackends (--backends):")
+    for entry in default_registry().entries():
+        apis = ", ".join(d.name for d in entry.descriptors)
+        categories = ", ".join(entry.contracts) or "descriptors only"
+        print(f"  {entry.name:14s} {entry.title}")
+        print(f"  {'':14s}   APIs: {apis}")
+        print(f"  {'':14s}   lowers: {categories}")
+    print("\nPlacement strategies (--placement):")
+    for name in STRATEGIES:
+        default = " (default)" if name == PLACEMENT else ""
+        print(f"  {name}{default}")
+    print("\nExperiments:", ", ".join(list(_EXPERIMENTS) + ["all"]))
+
 
 _EXPERIMENTS = {
     "table1": print_table1,
@@ -423,16 +517,21 @@ _EXPERIMENTS = {
     "fig17": print_fig17,
     "fig18": print_fig18,
     "fig19": print_fig19,
+    "placement": print_placement,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    global DETECT_WORKERS, DETECT_MODE, ENGINE, SCALE
+    global DETECT_WORKERS, DETECT_MODE, ENGINE, SCALE, BACKENDS, PLACEMENT
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures (simulated)")
-    parser.add_argument("experiment", choices=list(_EXPERIMENTS) + ["all"])
+    parser.add_argument("experiment", nargs="?",
+                        choices=list(_EXPERIMENTS) + ["all"])
+    parser.add_argument("--list", action="store_true",
+                        help="print available workloads, engines, backends "
+                             "and placement strategies, then exit")
     parser.add_argument("--workers", type=int, default=1,
                         help="detection worker pool size (default 1)")
     parser.add_argument("--detect-mode", choices=["thread", "process"],
@@ -446,11 +545,32 @@ def main(argv: list[str] | None = None) -> int:
                         help="problem-size multiplier for workload inputs "
                              "(default 1; larger-than-paper sizes need the "
                              "vm engine to stay tractable)")
+    parser.add_argument("--backends", nargs="*", default=None,
+                        metavar="NAME",
+                        help="restrict lowering and placement to these "
+                             "registry backends (see --list; default: all)")
+    parser.add_argument("--placement", choices=list(STRATEGIES),
+                        default=PLACEMENT,
+                        help="offload planner strategy for the 'placement' "
+                             f"experiment (default {PLACEMENT})")
     args = parser.parse_args(argv)
+    if args.list:
+        print_catalog()
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment is required unless --list is given")
+    if args.backends is not None:
+        known = set(default_registry().names())
+        unknown = sorted(set(args.backends) - known)
+        if unknown:
+            parser.error(f"unknown backends: {', '.join(unknown)} "
+                         f"(choose from {', '.join(sorted(known))})")
     DETECT_WORKERS = args.workers
     DETECT_MODE = args.detect_mode
     ENGINE = args.engine
     SCALE = args.scale
+    BACKENDS = args.backends
+    PLACEMENT = args.placement
     if args.experiment == "all":
         for fn in _EXPERIMENTS.values():
             fn()

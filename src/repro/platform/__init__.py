@@ -1,4 +1,4 @@
-"""Platform models: machines, roofline costs, transfer modelling."""
+"""Platform models: machines, roofline costs, residency-aware placement."""
 
 from .cost import (
     OPENCL,
@@ -6,13 +6,28 @@ from .cost import (
     AcceleratedCost,
     ReferenceImplementation,
     best_api_cost,
+    compute_launch_cost,
     reference_time,
     site_cost,
 )
 from .machine import CPU, GPU, IGPU, MACHINES, Machine, sequential_time_seconds
+from .placement import (
+    HOST,
+    STRATEGIES,
+    PlacedSite,
+    PlacementPlan,
+    ResidencyState,
+    SitePlacement,
+    candidate_placements,
+    evaluate_assignment,
+    plan_module,
+)
 
 __all__ = [
     "OPENCL", "OPENMP", "AcceleratedCost", "ReferenceImplementation",
-    "best_api_cost", "reference_time", "site_cost",
+    "best_api_cost", "compute_launch_cost", "reference_time", "site_cost",
     "CPU", "GPU", "IGPU", "MACHINES", "Machine", "sequential_time_seconds",
+    "HOST", "STRATEGIES", "PlacedSite", "PlacementPlan", "ResidencyState",
+    "SitePlacement", "candidate_placements", "evaluate_assignment",
+    "plan_module",
 ]

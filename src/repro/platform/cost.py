@@ -10,6 +10,17 @@ calibration constants, see :mod:`repro.backends.api`). Transfer is charged
 on discrete devices only, and only for buffers not already resident — the
 paper's "lazy copying" optimisation (§8.3, red bars in Figure 18) is the
 ``lazy_transfers`` flag.
+
+.. note::
+   The ``lazy_transfers`` division (``bytes_touched / calls``) is the
+   *documented fallback* transfer model: it assumes buffers stay resident
+   between calls, which **undercharges** whenever another call site (or
+   host code) writes a buffer between two calls of this site. The exact
+   accounting replays the runtime's residency event log and charges a
+   transfer only on an actual residency change — see
+   :func:`repro.platform.placement.plan_module`. This formula is kept for
+   the legacy Table 3 / Figure 18 reproduction paths and as the fallback
+   when no event log is available (e.g. the log overflowed).
 """
 
 from __future__ import annotations
@@ -33,19 +44,40 @@ class AcceleratedCost:
         return self.compute_s + self.transfer_s + self.launch_s
 
 
-def site_cost(site: ApiCallSite, api: ApiDescriptor, machine: Machine,
-              lazy_transfers: bool = False) -> AcceleratedCost:
-    """Cost of all dynamic executions of ``site`` on the given target."""
+def _site_stats(site: ApiCallSite) -> tuple[int, float, float]:
+    """(calls, flops, bytes_touched) with the model's defaults applied."""
     stats = site.stats
     calls = max(1, int(stats.get("calls", 1)))
     elements = float(stats.get("elements", 0))
     flops = elements * float(stats.get("flops_per_element", 1.0))
     bytes_touched = float(stats.get("bytes", 8 * elements))
+    return calls, flops, bytes_touched
 
+
+def compute_launch_cost(site: ApiCallSite, api: ApiDescriptor,
+                        machine: Machine) -> tuple[float, float]:
+    """(compute_s, launch_s) of all dynamic executions of ``site`` —
+    the transfer-free part of the roofline, used by the offload planner
+    (which charges transfers from the residency event log instead)."""
+    calls, flops, bytes_touched = _site_stats(site)
     efficiency = api.efficiency.get(site.category, 0.3)
     compute = max(flops / (machine.peak_gflops * 1e9 * efficiency),
                   bytes_touched / (machine.mem_bandwidth_gbs * 1e9 *
                                    efficiency))
+    launch = calls * api.launch_overhead_us * 1e-6
+    return compute, launch
+
+
+def site_cost(site: ApiCallSite, api: ApiDescriptor, machine: Machine,
+              lazy_transfers: bool = False) -> AcceleratedCost:
+    """Cost of all dynamic executions of ``site`` on the given target.
+
+    ``lazy_transfers`` uses the per-call division fallback documented in
+    the module docstring; exact transfer accounting lives in
+    :mod:`repro.platform.placement`.
+    """
+    calls, _, bytes_touched = _site_stats(site)
+    compute, launch = compute_launch_cost(site, api, machine)
 
     if machine.transfer_gbs == float("inf"):
         transfer = 0.0
@@ -58,7 +90,6 @@ def site_cost(site: ApiCallSite, api: ApiDescriptor, machine: Machine,
             transfer = moved / (machine.transfer_gbs * 1e9) + \
                 2 * machine.transfer_latency_us * 1e-6
 
-    launch = calls * api.launch_overhead_us * 1e-6
     return AcceleratedCost(compute, transfer, launch)
 
 

@@ -1,0 +1,467 @@
+"""Whole-module offload planner over a buffer-residency graph.
+
+The seed cost layer picked the best API **per call site in isolation**
+(:func:`repro.platform.cost.best_api_cost`) and approximated the paper's
+§8.3 lazy-copying optimisation by dividing a site's transferred bytes by
+its call count — which undercharges whenever a buffer is written between
+two calls. This module replaces both with a global model:
+
+1. The :class:`~repro.backends.api.ApiRuntime` records a **residency
+   event log** during accelerated execution: one entry per dynamic API
+   call, listing (buffer identity, size, access mode) for every pointer
+   argument.
+2. :class:`ResidencyState` replays that log under a candidate assignment
+   of (API, device) per site, maintaining per-buffer *validity sets*
+   (which memories hold a current copy) and charging a host↔device
+   transfer **only on an actual residency change along the execution
+   order** — a write on one device invalidates every other copy, so
+   interleaved writers are charged exactly. A final epilogue copies
+   device-only buffers back to the host (program outputs must land in
+   host memory).
+3. :func:`plan_module` searches assignments globally: ``greedy`` is the
+   seed per-site policy (the baseline the planner must beat), ``beam``
+   is a beam search refined by coordinate descent, ``exhaustive`` fully
+   enumerates small search spaces. Every strategy also evaluates the
+   greedy assignment under the exact model, so the planner is **never
+   worse than per-site greedy** by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..backends.api import ApiCallSite, ApiDescriptor
+from ..backends.registry import BackendRegistry, default_registry
+from ..errors import PlacementError
+from .cost import compute_launch_cost, site_cost
+from .machine import MACHINES, Machine
+
+HOST = "host"
+
+STRATEGIES = ("greedy", "beam", "exhaustive")
+
+#: Event-log prefix used to *rank* partial assignments during beam
+#: search. Final candidates (and coordinate descent) are always costed
+#: over the full log, so this only bounds search effort on huge logs —
+#: never the reported numbers.
+BEAM_RANK_EVENT_CAP = 5_000
+
+
+def location_of(machine: Machine) -> str:
+    """Machines with infinite transfer bandwidth share host memory."""
+    return HOST if machine.transfer_gbs == float("inf") else machine.name
+
+
+class ResidencyState:
+    """Validity-set simulation of buffer residency.
+
+    Shared by the planner's replay and the runtime's live tracker
+    (:meth:`repro.backends.api.ApiRuntime.set_placement`), so measured
+    transfer counts and planned ones come from one state machine.
+    """
+
+    __slots__ = ("valid",)
+
+    def __init__(self) -> None:
+        #: buffer key -> set of locations holding a current copy.
+        self.valid: dict = {}
+
+    def access(self, location: str, key, nbytes: float,
+               mode: str) -> list[tuple[str, float]]:
+        """Record one access; return the link transfers it forces as
+        ``(device_location, bytes)`` pairs (each pair crosses that
+        device's host link once)."""
+        moves: list[tuple[str, float]] = []
+        valid = self.valid.get(key)
+        if valid is None:
+            valid = {HOST}
+            self.valid[key] = valid
+        if location not in valid:
+            if location == HOST:
+                # Copy back from whichever device holds the only copy.
+                moves.append((sorted(valid)[0], nbytes))
+            else:
+                if HOST not in valid:
+                    # Device-to-device moves stage through host memory.
+                    moves.append((sorted(valid)[0], nbytes))
+                    valid.add(HOST)
+                moves.append((location, nbytes))
+            valid.add(location)
+        if "w" in mode:
+            valid.clear()
+            valid.add(location)
+        return moves
+
+    def device_only(self) -> dict:
+        """buffer key -> device location, for buffers the host copy of
+        which is stale (epilogue copy-back set)."""
+        return {key: sorted(valid)[0] for key, valid in self.valid.items()
+                if HOST not in valid}
+
+
+@dataclass(frozen=True)
+class SitePlacement:
+    """One site's assignment: which API executes it on which machine."""
+
+    api: ApiDescriptor
+    machine: Machine
+
+    @property
+    def device(self) -> str:
+        return self.machine.name
+
+    @property
+    def location(self) -> str:
+        return location_of(self.machine)
+
+    def describe(self) -> str:
+        return f"{self.api.name}@{self.machine.name}"
+
+
+@dataclass
+class PlacedSite:
+    """A site with its assignment and exact simulated cost breakdown."""
+
+    site: ApiCallSite
+    placement: SitePlacement
+    compute_s: float = 0.0
+    launch_s: float = 0.0
+    transfer_s: float = 0.0
+    transfer_bytes: float = 0.0
+    transfer_events: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.launch_s + self.transfer_s
+
+
+@dataclass
+class PlacementPlan:
+    """A whole-module assignment plus its simulated cost."""
+
+    strategy: str
+    placed: list[PlacedSite] = field(default_factory=list)
+    host_seconds: float = 0.0      # uncovered (non-idiom) host time
+    epilogue_s: float = 0.0        # final device→host copy-back
+    epilogue_bytes: float = 0.0
+    exact: bool = True             # False when the event log overflowed
+
+    @property
+    def offload_s(self) -> float:
+        return sum(p.total_s for p in self.placed) + self.epilogue_s
+
+    @property
+    def total_s(self) -> float:
+        return self.host_seconds + self.offload_s
+
+    def assignment(self) -> dict:
+        return {p.site.call_id: p.placement for p in self.placed}
+
+    def locations(self) -> dict:
+        """call_id -> location name, the runtime tracker's input."""
+        return {p.site.call_id: p.placement.location for p in self.placed}
+
+    def as_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "total_ms": self.total_s * 1e3,
+            "host_ms": self.host_seconds * 1e3,
+            "epilogue_ms": self.epilogue_s * 1e3,
+            "exact": self.exact,
+            "sites": [
+                {
+                    "call_id": p.site.call_id,
+                    "idiom": p.site.idiom,
+                    "category": p.site.category,
+                    "api": p.placement.api.name,
+                    "device": p.placement.device,
+                    "compute_ms": p.compute_s * 1e3,
+                    "launch_ms": p.launch_s * 1e3,
+                    "transfer_ms": p.transfer_s * 1e3,
+                    "transfer_events": p.transfer_events,
+                }
+                for p in self.placed
+            ],
+        }
+
+
+def scaled_stats(site: ApiCallSite, scale: float) -> dict:
+    """Extrapolate dynamic statistics to paper-scale problem sizes.
+
+    GEMM's data grows as N² while its work grows as N³, so its bytes
+    scale with the 2/3 power of the element factor; everything else is
+    linear.
+    """
+    stats = dict(site.stats)
+    stats["elements"] = stats.get("elements", 0) * scale
+    stats["bytes"] = stats.get("bytes", 0) * byte_scale_of(site, scale)
+    return stats
+
+
+def byte_scale_of(site: ApiCallSite, scale: float) -> float:
+    return scale ** (2.0 / 3.0) if site.category == "matrix_op" else scale
+
+
+def site_at_scale(site: ApiCallSite, scale: float) -> ApiCallSite:
+    """A field-preserving clone of ``site`` with paper-scale statistics
+    (the site itself when ``scale`` is 1)."""
+    if scale == 1.0:
+        return site
+    clone = ApiCallSite(site.call_id, site.idiom, site.category,
+                        site.handler, site.description, kind=site.kind,
+                        backend=site.backend, reads=site.reads,
+                        writes=site.writes, guarded=site.guarded)
+    clone.stats = scaled_stats(site, scale)
+    return clone
+
+
+# ---------------------------------------------------------------------------
+# Exact evaluation of one assignment
+# ---------------------------------------------------------------------------
+
+def _link_seconds(machines: dict, location: str, nbytes: float) -> float:
+    machine = machines[location]
+    return nbytes / (machine.transfer_gbs * 1e9) + \
+        machine.transfer_latency_us * 1e-6
+
+
+def evaluate_assignment(sites: list[ApiCallSite], events: list,
+                        assignment: dict, *, machines: dict | None = None,
+                        strategy: str = "custom", host_seconds: float = 0.0,
+                        scale: float = 1.0,
+                        exact: bool = True,
+                        fallback_lazy: bool = True) -> PlacementPlan:
+    """Exact simulated cost of ``assignment`` over the event log.
+
+    ``assignment`` maps call_id -> :class:`SitePlacement`. When the event
+    log is unusable (``exact=False``), transfers fall back to the legacy
+    per-site formula of :func:`repro.platform.cost.site_cost` under the
+    ``fallback_lazy`` policy (matching the seed's lazy applicability).
+    """
+    machines = machines or MACHINES
+    plan = PlacementPlan(strategy, host_seconds=host_seconds, exact=exact)
+    placed: dict[int, PlacedSite] = {}
+    for site in sites:
+        placement = assignment[site.call_id]
+        scaled = site_at_scale(site, scale)
+        if exact:
+            compute, launch = compute_launch_cost(scaled, placement.api,
+                                                  placement.machine)
+            placed[site.call_id] = PlacedSite(site, placement, compute,
+                                              launch)
+        else:
+            cost = site_cost(scaled, placement.api, placement.machine,
+                             lazy_transfers=fallback_lazy)
+            placed[site.call_id] = PlacedSite(site, placement,
+                                              cost.compute_s, cost.launch_s,
+                                              cost.transfer_s)
+    if exact:
+        state = ResidencyState()
+        # A buffer's extrapolated size must be consistent across every
+        # site that touches it — the scale factor is a property of the
+        # buffer, not of the accessing site's category. Use the largest
+        # factor among its accessors.
+        key_factor: dict = {}
+        for call_id, accesses in events:
+            entry = placed.get(call_id)
+            if entry is None:
+                continue
+            factor = byte_scale_of(entry.site, scale)
+            for key, _, _ in accesses:
+                key_factor[key] = max(key_factor.get(key, factor), factor)
+        key_bytes: dict = {}
+        for call_id, accesses in events:
+            entry = placed.get(call_id)
+            if entry is None:
+                continue
+            location = entry.placement.location
+            for key, nbytes, mode in accesses:
+                scaled_bytes = nbytes * key_factor[key]
+                key_bytes[key] = scaled_bytes
+                for link, moved in state.access(location, key, scaled_bytes,
+                                                mode):
+                    entry.transfer_bytes += moved
+                    entry.transfer_events += 1
+                    entry.transfer_s += _link_seconds(machines, link, moved)
+        for key, device in state.device_only().items():
+            nbytes = key_bytes.get(key, 0.0)
+            plan.epilogue_bytes += nbytes
+            plan.epilogue_s += _link_seconds(machines, device, nbytes)
+    plan.placed = [placed[s.call_id] for s in sites]
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Assignment search
+# ---------------------------------------------------------------------------
+
+def candidate_placements(site: ApiCallSite, *,
+                         registry: BackendRegistry | None = None,
+                         backends: list[str] | None = None,
+                         machines: dict | None = None
+                         ) -> list[SitePlacement]:
+    """All (API, device) pairs able to run this site's category."""
+    registry = registry or default_registry()
+    machines = machines or MACHINES
+    out = []
+    for machine in machines.values():
+        for api in registry.apis_for(site.category, machine.name, backends):
+            out.append(SitePlacement(api, machine))
+    if not out:
+        scope = "" if backends is None else \
+            f" with backends limited to {', '.join(backends)}"
+        raise PlacementError(
+            f"no (API, device) can run category {site.category!r}{scope}")
+    return out
+
+
+def greedy_assignment(sites: list[ApiCallSite],
+                      candidates: dict, *, scale: float = 1.0,
+                      lazy: bool = True) -> dict:
+    """The seed policy: per site in isolation, best legacy roofline cost
+    (with the per-call lazy-transfer division when ``lazy``)."""
+    assignment = {}
+    for site in sites:
+        scaled = site_at_scale(site, scale)
+        best, best_cost = None, None
+        for placement in candidates[site.call_id]:
+            cost = site_cost(scaled, placement.api, placement.machine,
+                             lazy_transfers=lazy).total_s
+            if best_cost is None or cost < best_cost:
+                best, best_cost = placement, cost
+        assignment[site.call_id] = best
+    return assignment
+
+
+def _refine(sites, assignment, candidates, evaluate, max_passes=4):
+    """Coordinate descent: re-place one site at a time until fixpoint."""
+    best_plan = evaluate(assignment)
+    for _ in range(max_passes):
+        improved = False
+        for site in sites:
+            current = assignment[site.call_id]
+            for placement in candidates[site.call_id]:
+                if placement == current:
+                    continue
+                trial = dict(assignment)
+                trial[site.call_id] = placement
+                plan = evaluate(trial)
+                if plan.total_s < best_plan.total_s:
+                    best_plan, assignment = plan, trial
+                    current = placement
+                    improved = True
+        if not improved:
+            break
+    return best_plan, assignment
+
+
+def plan_module(sites: list[ApiCallSite], events: list, *,
+                registry: BackendRegistry | None = None,
+                backends: list[str] | None = None,
+                machines: dict | None = None,
+                strategy: str = "beam",
+                host_seconds: float = 0.0,
+                scale: float = 1.0,
+                greedy_lazy: bool = True,
+                beam_width: int = 8,
+                exhaustive_limit: int = 4096,
+                events_overflowed: bool = False) -> PlacementPlan:
+    """Assign (API, device) to every call site of a module, globally.
+
+    ``sites``/``events`` come from an accelerated execution's
+    :class:`~repro.backends.api.ApiRuntime` (``all_sites()`` /
+    ``.events``). ``host_seconds`` is the uncovered sequential time added
+    to every plan alike; ``scale`` extrapolates dynamic statistics to
+    paper-scale problem sizes.
+
+    The returned plan's sites are annotated (``site.placement``) with
+    their chosen :class:`SitePlacement`. ``exhaustive`` falls back to the
+    beam strategy when the search space exceeds ``exhaustive_limit``;
+    the returned plan's ``strategy`` field reports what actually ran.
+    """
+    if strategy not in STRATEGIES:
+        raise PlacementError(
+            f"unknown strategy {strategy!r} (choose from "
+            f"{', '.join(STRATEGIES)})")
+    machines = machines or MACHINES
+    sites = sorted((s for s in sites if s.kind == "call"),
+                   key=lambda s: s.call_id)
+    if not sites:
+        return PlacementPlan(strategy, host_seconds=host_seconds)
+    exact = bool(events) and not events_overflowed
+    candidates = {
+        site.call_id: candidate_placements(site, registry=registry,
+                                           backends=backends,
+                                           machines=machines)
+        for site in sites
+    }
+
+    def evaluate(assignment, label=strategy):
+        return evaluate_assignment(sites, events, assignment,
+                                   machines=machines, strategy=label,
+                                   host_seconds=host_seconds, scale=scale,
+                                   exact=exact, fallback_lazy=greedy_lazy)
+
+    def annotated(plan: PlacementPlan) -> PlacementPlan:
+        for placed in plan.placed:
+            placed.site.placement = placed.placement
+        return plan
+
+    greedy = greedy_assignment(sites, candidates, scale=scale,
+                               lazy=greedy_lazy)
+    if strategy == "greedy":
+        return annotated(evaluate(greedy, "greedy"))
+
+    space = 1
+    for site in sites:
+        space *= len(candidates[site.call_id])
+        if space > exhaustive_limit:
+            break
+    if strategy == "exhaustive":
+        if space > exhaustive_limit:
+            # Too large to enumerate: degrade to beam, and say so in the
+            # returned plan's strategy label.
+            strategy = "beam"
+        else:
+            best = evaluate(greedy)
+            for combo in itertools.product(
+                    *(candidates[s.call_id] for s in sites)):
+                assignment = {s.call_id: p for s, p in zip(sites, combo)}
+                plan = evaluate(assignment)
+                if plan.total_s < best.total_s:
+                    best = plan
+            return annotated(best)
+
+    # Beam search over sites in execution order. Partial assignments are
+    # ranked by exact simulation restricted to already-assigned sites; the
+    # surviving beam plus the greedy seed are fully evaluated, and the
+    # winner is polished by coordinate descent — which can only improve,
+    # so the result is never worse than per-site greedy.
+    rank_events = events[:BEAM_RANK_EVENT_CAP]
+    beam: list[dict] = [{}]
+    for site in sites:
+        extended = []
+        for partial in beam:
+            for placement in candidates[site.call_id]:
+                trial = dict(partial)
+                trial[site.call_id] = placement
+                extended.append(trial)
+        assigned = [s for s in sites if s.call_id in extended[0]]
+
+        def partial_cost(partial):
+            part_events = [e for e in rank_events if e[0] in partial]
+            plan = evaluate_assignment(assigned, part_events, partial,
+                                       machines=machines,
+                                       host_seconds=0.0, scale=scale,
+                                       exact=exact,
+                                       fallback_lazy=greedy_lazy)
+            return plan.total_s
+        extended.sort(key=partial_cost)
+        beam = extended[:beam_width]
+
+    finals = [evaluate(b) for b in beam] + [evaluate(greedy)]
+    best = min(finals, key=lambda p: p.total_s)
+    best, _ = _refine(sites, best.assignment(), candidates, evaluate)
+    best.strategy = strategy
+    return annotated(best)

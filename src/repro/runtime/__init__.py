@@ -15,9 +15,11 @@ from .runner import (
     ExecutionResult,
     compile_workload,
     new_engine,
+    outputs_identical,
     outputs_match,
     run_accelerated,
     run_original,
+    run_transformed,
 )
 from .vm import VirtualMachine
 
@@ -27,5 +29,6 @@ __all__ = [
     "ENGINES", "DEFAULT_ENGINE", "new_engine",
     "Buffer", "Pointer", "dtype_of", "scalar_count", "scalar_type_of",
     "CompiledWorkload", "ExecutionResult", "compile_workload",
-    "outputs_match", "run_accelerated", "run_original",
+    "outputs_identical", "outputs_match",
+    "run_accelerated", "run_original", "run_transformed",
 ]

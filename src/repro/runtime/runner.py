@@ -67,6 +67,8 @@ class ExecutionResult:
     opcode_counts: dict[str, int]
     api_runtime: ApiRuntime | None = None
     transforms: list = field(default_factory=list)
+    #: Matches the transformer refused (their loops ran unmodified).
+    rejected: list = field(default_factory=list)
 
     @property
     def coverage(self) -> float:
@@ -148,19 +150,44 @@ def run_original(workload: CompiledWorkload, entry: str, inputs: dict,
 
 def run_accelerated(workload: CompiledWorkload, entry: str, inputs: dict,
                     matches: list[IdiomMatch] | None = None,
-                    engine: str | None = None) -> ExecutionResult:
+                    engine: str | None = None,
+                    backends: list[str] | None = None,
+                    placement: dict | None = None) -> ExecutionResult:
     """Transform the matched idioms to API calls, then execute.
 
     The transformation mutates ``workload.module`` in place, so callers
     wanting to compare against the original must either run the original
     first or compile a fresh copy.
+
+    ``backends`` restricts which registry backends may lower matches (the
+    ``--backends`` CLI flag). ``placement`` (call_id → location, from
+    :meth:`repro.platform.placement.PlacementPlan.locations`) enables the
+    runtime's live residency tracker during execution.
     """
     from ..transform.replace import Transformer
 
     runtime = ApiRuntime()
-    transformer = Transformer(workload.module, runtime)
+    transformer = Transformer(workload.module, runtime, backends=backends)
     applied = transformer.apply(matches if matches is not None
                                 else list(workload.report.matches))
+    if placement is not None:
+        runtime.set_placement(placement)
+    result = run_transformed(workload, entry, inputs, runtime,
+                             engine=engine)
+    result.transforms = applied
+    result.rejected = transformer.rejected
+    return result
+
+
+def run_transformed(workload: CompiledWorkload, entry: str, inputs: dict,
+                    runtime: ApiRuntime,
+                    engine: str | None = None) -> ExecutionResult:
+    """Execute an already-transformed module against its ``ApiRuntime``.
+
+    Used to replay one transformation under a different engine or
+    placement without re-running detection; note the runtime's site
+    statistics and event log keep accumulating across replays.
+    """
     interpreter = new_engine(workload.module, engine, api_runtime=runtime)
     args, buffers = _bind_arguments(interpreter, workload.module, entry,
                                     inputs)
@@ -175,7 +202,6 @@ def run_accelerated(workload: CompiledWorkload, entry: str, inputs: dict,
         idiom_instructions=0,
         opcode_counts=profile.opcode_counts(),
         api_runtime=runtime,
-        transforms=applied,
     )
 
 
@@ -192,5 +218,30 @@ def outputs_match(a: ExecutionResult, b: ExecutionResult,
             continue
         if not np.allclose(buffer.data, other.data, rtol=rtol, atol=atol,
                            equal_nan=True):
+            return False
+    return True
+
+
+def outputs_identical(a: ExecutionResult, b: ExecutionResult) -> bool:
+    """Bit-exact comparison of return values and shared buffers (NaNs
+    compare equal positionally) — the engine/placement invariance check:
+    handlers are shared numpy code, so accelerated outputs must not
+    depend on the execution engine or the placement strategy at all."""
+    def same(x, y) -> bool:
+        x, y = np.asarray(x), np.asarray(y)
+        if x.shape != y.shape:
+            return False
+        eq = (x == y)
+        if x.dtype.kind == "f" and y.dtype.kind == "f":
+            eq = eq | (np.isnan(x) & np.isnan(y))
+        return bool(np.all(eq))
+
+    if (a.value is None) != (b.value is None):
+        return False
+    if a.value is not None and not same(a.value, b.value):
+        return False
+    for name, buffer in a.buffers.items():
+        other = b.buffers.get(name)
+        if other is not None and not same(buffer.data, other.data):
             return False
     return True

@@ -15,12 +15,14 @@ from .kernels import (
     evaluate,
     match_accumulator_form,
 )
-from .replace import AppliedTransform, Transformer
+from .region import Region, make_alias_guard
+from .replace import AppliedTransform, RejectedTransform, Transformer
 
 __all__ = [
     "expr_to_c", "kernel_to_c",
     "ExtractedKernel", "KBin", "KCall", "KCapture", "KCast", "KCmp",
     "KConst", "KParam", "KSelect", "KernelExtractor", "evaluate",
     "match_accumulator_form",
-    "AppliedTransform", "Transformer",
+    "Region", "make_alias_guard",
+    "AppliedTransform", "RejectedTransform", "Transformer",
 ]

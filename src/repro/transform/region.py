@@ -1,0 +1,171 @@
+"""Region extraction: the loop nest a match spans, and its rewiring.
+
+The structural half of idiom replacement (paper §6.1/§6.3), split out of
+:mod:`repro.transform.replace` so lowering is purely contract-driven:
+
+* locate the matched loop nest, its preheader and unique exit,
+* verify no SSA value other than the idiom's result escapes the region,
+* collect call arguments with dominance checks,
+* rewire the CFG — either an unconditional bypass that deletes the loop,
+  or a **guarded multi-version** (paper §6.3's runtime aliasing check):
+  the preheader branches on a guard call, taking the API fast path when
+  the handler's buffers provably don't overlap and falling back to the
+  *intact original loop* when they might.
+"""
+
+from __future__ import annotations
+
+from ..analysis.info import FunctionAnalyses
+from ..analysis.loops import Loop, LoopInfo
+from ..backends.api import ApiCallSite
+from ..errors import TransformError
+from ..idioms.matches import IdiomMatch
+from ..ir.instructions import BranchInst, CallInst, Instruction, PhiInst
+from ..ir.module import Function
+from ..ir.types import I1, VOID
+from ..ir.values import Value
+
+
+class Region:
+    """The single-entry loop region one idiom match spans."""
+
+    def __init__(self, match: IdiomMatch, function: Function,
+                 analyses: FunctionAnalyses):
+        self.match = match
+        self.function = function
+        self.analyses = analyses
+        self.loop = self._outer_loop()
+        self.preheader = self.loop.preheader()
+        if self.preheader is None or self.preheader.terminator is None:
+            raise TransformError("matched loop has no preheader")
+        exits = self.loop.exit_blocks()
+        if len(exits) != 1:
+            raise TransformError("matched loop has multiple exits")
+        self.exit_block = exits[0]
+        self.args: list[Value] = []
+
+    # -- structure ------------------------------------------------------------
+    def _outer_loop(self) -> Loop:
+        sol = self.match.solution
+        iterator = sol.get("iterator") or sol.get("iterator[0]")
+        if not isinstance(iterator, PhiInst) or iterator.parent is None:
+            raise TransformError("match has no loop iterator phi")
+        info = LoopInfo(self.function)
+        for loop in info.loops:
+            if loop.header is iterator.parent:
+                return loop
+        raise TransformError("iterator is not a loop header phi")
+
+    def check_escapes(self, allowed: list[Value]) -> None:
+        """Reject the region if any loop-defined SSA value other than the
+        allowed results is used outside the loop (paper §6.1)."""
+        loop_blocks = {id(b) for b in self.loop.blocks}
+        allowed_ids = {id(v) for v in allowed}
+        for block in self.loop.blocks:
+            for inst in block.instructions:
+                if id(inst) in allowed_ids or not inst.uses:
+                    continue
+                for user in inst.users():
+                    parent = getattr(user, "parent", None)
+                    if parent is not None and id(parent) not in loop_blocks:
+                        raise TransformError(
+                            f"value {inst.ref()} escapes the matched region")
+
+    def arg(self, value: Value) -> int:
+        """Append a call argument, verifying it's available at the site."""
+        if isinstance(value, Instruction):
+            if not self.analyses.dom.dominates(
+                    value, self.preheader.terminator):
+                raise TransformError(
+                    f"argument {value.ref()} unavailable at call site")
+        self.args.append(value)
+        return len(self.args) - 1
+
+    # -- rewiring -------------------------------------------------------------
+    def insert_call(self, site: ApiCallSite,
+                    result_value: Value | None = None) -> None:
+        """Insert the API call; route the idiom's result to its users."""
+        ret_type = VOID if result_value is None else result_value.type
+        call = CallInst(site.callee, self.args, ret_type)
+        if not ret_type.is_void():
+            call.name = self.function.unique_name("apiresult")
+        term = self.preheader.terminator
+        self.preheader.insert(term.index_in_block(), call)
+
+        if result_value is not None:
+            loop_blocks = {id(b) for b in self.loop.blocks}
+            for use in list(result_value.uses):
+                parent = getattr(use.user, "parent", None)
+                if parent is not None and id(parent) not in loop_blocks:
+                    use.user.set_operand(use.index, call)
+
+    def bypass_loop(self) -> None:
+        """Retarget the preheader branch from the loop header to the exit;
+        unreachable-block cleanup then deletes the original loop."""
+        term = self.preheader.terminator
+        for i, op in enumerate(term.operands):
+            if op is self.loop.header:
+                term.set_operand(i, self.exit_block)
+
+    def can_guard(self) -> bool:
+        """Whether the guarded multi-version structure applies here: the
+        exit must be phi-free (the fast path adds a predecessor) and the
+        preheader must fall through to the header unconditionally."""
+        term = self.preheader.terminator
+        if term is None or not isinstance(term, BranchInst) or \
+                term.is_conditional():
+            return False
+        return not any(isinstance(i, PhiInst)
+                       for i in self.exit_block.instructions)
+
+    def insert_guarded_call(self, site: ApiCallSite,
+                            guard: ApiCallSite) -> None:
+        """Multi-version the region (paper §6.3)::
+
+            preheader:  %safe = call i1 repro.api.<guard>(args...)
+                        br %safe, %apifast, %loop_header
+            apifast:    call void repro.api.<site>(args...)
+                        br %exit
+
+        The original loop stays intact and runs whenever the guard trips
+        (potentially-overlapping buffers), keeping the transformation
+        bit-exact under aliasing.
+        """
+        if not self.can_guard():
+            raise TransformError("region does not admit a guarded call")
+        term = self.preheader.terminator
+        fast = self.function.append_block("apifast")
+        fast.append(CallInst(site.callee, self.args, VOID))
+        fast.append(BranchInst(self.exit_block))
+
+        guard_call = CallInst(guard.callee, self.args, I1,
+                              name=self.function.unique_name("apisafe"))
+        self.preheader.insert(term.index_in_block(), guard_call)
+        self.preheader.remove(term)
+        term.drop_all_operands()
+        self.preheader.append(BranchInst(guard_call, fast,
+                                         self.loop.header))
+
+
+def make_alias_guard(reads: tuple, writes: tuple):
+    """Handler for an aliasing-guard site: 1 iff no written buffer is
+    also read through a *different* argument (buffer identity is the
+    paper's runtime non-overlap check; identity is conservative — two
+    disjoint views of one buffer still trip the guard, trading speed for
+    soundness, never correctness)."""
+
+    def guard(args, engine):
+        write_buffers = {}
+        for index in writes:
+            buffer = getattr(args[index], "buffer", None)
+            if buffer is not None:
+                write_buffers[id(buffer)] = index
+        for index in reads:
+            if index in writes:
+                continue
+            buffer = getattr(args[index], "buffer", None)
+            if buffer is not None and id(buffer) in write_buffers:
+                return 0
+        return 1
+
+    return guard

@@ -1,20 +1,33 @@
 """Idiom replacement: cut the matched loops out, call the API instead.
 
-Implements paper §6: for every :class:`IdiomMatch` the transformer
+Implements paper §6 as **contract-driven lowering** over the structural
+:class:`~repro.transform.region.Region` layer: for every
+:class:`IdiomMatch` the transformer
 
-1. locates the loop nest the match spans and its preheader/exit,
-2. verifies no SSA value other than the idiom's result escapes the region,
+1. extracts the region (loop nest, preheader/exit, escape verification —
+   see :mod:`repro.transform.region`),
+2. resolves a :class:`~repro.backends.registry.LoweringContract` for the
+   idiom's category from the backend registry — the match must supply
+   every solution key the contract requires, and the contract supplies
+   the numeric kernels the handler computes with (no hard-coded backend
+   imports),
 3. extracts kernel functions (for reductions/histograms/stencils) into
    portable kernel expressions,
-4. registers a runtime handler with the :class:`ApiRuntime` that performs
-   the computation with the simulated vendor libraries / DSL pipelines,
-5. rewires the preheader branch past the loop and lets unreachable-block
-   cleanup delete the original code ("the remaining cleanup is left to the
-   standard dead code elimination pass").
+4. registers a runtime handler with the :class:`ApiRuntime`, annotated
+   with its read/write pointer-argument schema (the residency planner's
+   buffer-access model),
+5. rewires the CFG: idioms with a scalar result bypass the loop outright;
+   void idioms in singleton groups whose region admits it (phi-free exit,
+   unconditional preheader fall-through) get the paper §6.3 **guarded
+   multi-version** — a runtime aliasing check that falls back to the
+   intact original loop when the handler's buffers might overlap
+   (``site.guarded``). Shared-loop groups and irregular regions keep the
+   seed's unguarded replacement, accepted as unsound in corner cases
+   exactly as the paper concedes.
 
-Aliasing note (paper §6.3): dense idioms get a runtime non-overlap guard
-(the handler checks buffer identity); sparse transformation is accepted
-as unsound in corner cases exactly as the paper concedes.
+A group that fails any check raises :class:`TransformError` *before* the
+function is mutated; :meth:`Transformer.apply` records the rejection and
+leaves the original loop bit-identical.
 """
 
 from __future__ import annotations
@@ -24,19 +37,23 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis.info import FunctionAnalyses
-from ..analysis.loops import Loop, LoopInfo
 from ..backends.api import ApiCallSite, ApiRuntime
-from ..backends import blas, sparse
+from ..backends.registry import (
+    BackendRegistry,
+    LoweringContract,
+    default_registry,
+)
 from ..errors import TransformError
 from ..idioms.matches import IdiomMatch
-from ..ir.instructions import CallInst, Instruction, PhiInst
-from ..ir.module import BasicBlock, Function, Module
-from ..ir.types import VOID, ArrayType, PointerType
-from ..ir.values import Argument, Constant, ConstantInt, GlobalVariable, Value
+from ..ir.instructions import Instruction
+from ..ir.module import Function, Module
+from ..ir.types import ArrayType, PointerType
+from ..ir.values import ConstantInt, Value
 from ..passes.dce import eliminate_dead_code
 from ..passes.simplifycfg import remove_unreachable_blocks
 from ..runtime.memory import Pointer
-from .kernels import KernelExtractor, evaluate, match_accumulator_form
+from .kernels import KernelExtractor, match_accumulator_form
+from .region import Region, make_alias_guard
 
 
 @dataclass
@@ -46,16 +63,39 @@ class AppliedTransform:
     function: Function
 
 
-class Transformer:
-    """Applies idiom replacements to a module."""
+@dataclass
+class RejectedTransform:
+    """A match the transformer refused; its loop is left untouched."""
 
-    def __init__(self, module: Module, runtime: ApiRuntime):
+    match: IdiomMatch
+    reason: str
+
+
+class Transformer:
+    """Applies idiom replacements to a module.
+
+    ``backends`` restricts which registry entries may lower matches (the
+    ``--backends`` CLI flag); ``None`` means all registered backends.
+    """
+
+    def __init__(self, module: Module, runtime: ApiRuntime,
+                 registry: BackendRegistry | None = None,
+                 backends: list[str] | None = None):
         self.module = module
         self.runtime = runtime
+        self.registry = registry if registry is not None \
+            else default_registry()
+        self.backends = list(backends) if backends is not None else None
+        # Unknown backend names fail here, before any group is touched —
+        # a mid-apply BackendError would leave the module half-transformed.
+        self.registry.entries(self.backends)
+        self.rejected: list[RejectedTransform] = []
 
     def apply(self, matches: list[IdiomMatch]) -> list[AppliedTransform]:
         """Matches sharing one loop (EP's histogram + conditional sum)
-        are replaced jointly: one call per idiom, one loop deletion."""
+        are replaced jointly: one call per idiom, one loop rewiring.
+        Groups that fail validation are skipped (recorded in
+        ``self.rejected``) with their original loops intact."""
         groups: dict[tuple, list[IdiomMatch]] = {}
         for match in matches:
             iterator = match.value("iterator") or match.value("iterator[0]")
@@ -63,60 +103,80 @@ class Transformer:
             groups.setdefault(key, []).append(match)
         applied = []
         for group in groups.values():
-            applied.extend(self.apply_group(group))
+            try:
+                applied.extend(self.apply_group(group))
+            except TransformError as exc:
+                for match in group:
+                    self.rejected.append(RejectedTransform(match, str(exc)))
         return applied
 
     def apply_group(self, group: list[IdiomMatch]) -> list[AppliedTransform]:
         function = group[0].function
         analyses = FunctionAnalyses(function)
-        builders = [_SiteBuilder(m, function, analyses) for m in group]
+        builders = [_SiteBuilder(m, function, analyses, self.registry,
+                                 self.backends) for m in group]
         # Values produced by sibling idioms in the same loop are not
         # escapes — their out-of-loop uses get each sibling's call result.
         shared = [b.expected_result() for b in builders]
         shared = [v for v in shared if v is not None]
-        sites = [b.build(self.runtime, allowed_escapes=shared)
-                 for b in builders]
-        for builder, site in zip(builders, sites):
-            builder.insert_call(site)
-        builders[0].bypass_loop()
+        # Building validates (escapes, dominance, contracts) without
+        # mutating the function: a TransformError here leaves the loop
+        # bit-identical to the original. Sites already registered for
+        # earlier members of a failing group are discarded so the runtime
+        # never carries orphan call sites.
+        sites: list[ApiCallSite] = []
+        try:
+            for builder in builders:
+                sites.append(builder.build(self.runtime,
+                                           allowed_escapes=shared))
+        except TransformError:
+            for site in sites:
+                self.runtime.discard(site)
+            raise
+        only = builders[0]
+        if len(builders) == 1 and only.result_value is None \
+                and sites[0].writes and sites[0].reads \
+                and only.region.can_guard():
+            guard = self.runtime.new_guard(
+                sites[0], make_alias_guard(sites[0].reads, sites[0].writes))
+            only.region.insert_guarded_call(sites[0], guard)
+            sites[0].guarded = True
+        else:
+            for builder, site in zip(builders, sites):
+                builder.region.insert_call(site, builder.result_value)
+            only.region.bypass_loop()
         remove_unreachable_blocks(function)
         eliminate_dead_code(function)
         return [AppliedTransform(m, s, function)
                 for m, s in zip(group, sites)]
 
     def apply_one(self, match: IdiomMatch) -> AppliedTransform:
-        return self.apply_group([match])[0]
+        applied = self.apply_group([match])
+        return applied[0]
 
 
 class _SiteBuilder:
+    """Lowers one match under a registry contract, via its Region."""
+
     def __init__(self, match: IdiomMatch, function: Function,
-                 analyses: FunctionAnalyses):
+                 analyses: FunctionAnalyses, registry: BackendRegistry,
+                 backends: list[str] | None):
         self.match = match
         self.function = function
-        self.analyses = analyses
-        self.loop = self._outer_loop()
-        self.preheader = self.loop.preheader()
-        if self.preheader is None or self.preheader.terminator is None:
-            raise TransformError("matched loop has no preheader")
-        exits = self.loop.exit_blocks()
-        if len(exits) != 1:
-            raise TransformError("matched loop has multiple exits")
-        self.exit_block = exits[0]
-        self.args: list[Value] = []
+        self.registry = registry
+        self.backends = backends
+        self.region = Region(match, function, analyses)
         self.result_value: Value | None = None  # SSA value the call replaces
-        self._shared_escapes: list[Value] = []
 
-    # -- structure ------------------------------------------------------------
-    def _outer_loop(self) -> Loop:
-        sol = self.match.solution
-        iterator = sol.get("iterator") or sol.get("iterator[0]")
-        if not isinstance(iterator, PhiInst) or iterator.parent is None:
-            raise TransformError("match has no loop iterator phi")
-        info = LoopInfo(self.function)
-        for loop in info.loops:
-            if loop.header is iterator.parent:
-                return loop
-        raise TransformError("iterator is not a loop header phi")
+    @property
+    def args(self) -> list[Value]:
+        return self.region.args
+
+    def _arg(self, value: Value) -> int:
+        return self.region.arg(value)
+
+    def _check_escapes(self, allowed: list[Value]) -> None:
+        self.region.check_escapes(allowed + self._shared_escapes)
 
     def expected_result(self) -> Value | None:
         """The SSA value this idiom's call will replace (if any)."""
@@ -124,29 +184,22 @@ class _SiteBuilder:
             return self.match.solution.get("old_value")
         return None
 
-    def _check_escapes(self, allowed: list[Value]) -> None:
-        loop_blocks = {id(b) for b in self.loop.blocks}
-        allowed_ids = {id(v) for v in allowed}
-        allowed_ids.update(id(v) for v in self._shared_escapes)
-        for block in self.loop.blocks:
-            for inst in block.instructions:
-                if id(inst) in allowed_ids or not inst.uses:
-                    continue
-                for user in inst.users():
-                    parent = getattr(user, "parent", None)
-                    if parent is not None and id(parent) not in loop_blocks:
-                        raise TransformError(
-                            f"value {inst.ref()} escapes the matched region")
-
-    def _arg(self, value: Value) -> int:
-        """Append a call argument, verifying it's available at the site."""
-        if isinstance(value, Instruction):
-            if not self.analyses.dom.dominates(
-                    value, self.preheader.terminator):
-                raise TransformError(
-                    f"argument {value.ref()} unavailable at call site")
-        self.args.append(value)
-        return len(self.args) - 1
+    def _contract(self, category: str) -> LoweringContract:
+        """First registered contract the match satisfies."""
+        contracts = self.registry.contracts_for(category, self.backends)
+        if not contracts:
+            scope = "" if self.backends is None else \
+                f" with backends limited to {', '.join(self.backends)}"
+            raise TransformError(
+                f"no registered backend lowers {category!r}{scope}")
+        solution = self.match.solution
+        for contract in contracts:
+            if contract.satisfied_by(solution):
+                return contract
+        first = contracts[0]
+        raise TransformError(
+            f"match for {category!r} satisfies no lowering contract "
+            f"(e.g. {first.backend!r} needs {first.missing(solution)})")
 
     # -- dispatch -------------------------------------------------------------
     def build(self, runtime: ApiRuntime,
@@ -179,7 +232,7 @@ class _SiteBuilder:
         sol = self.match.solution
         outer = sol[outer_key]
         inner = sol[inner_key]
-        return KernelExtractor(self.analyses, outer, inner, inputs)
+        return KernelExtractor(self.region.analyses, outer, inner, inputs)
 
     def _range_args(self, begin_key: str, end_key: str) -> tuple[int, int]:
         sol = self.match.solution
@@ -187,6 +240,8 @@ class _SiteBuilder:
 
     # -- Reduction -----------------------------------------------------------------
     def _build_reduction(self, runtime: ApiRuntime) -> ApiCallSite:
+        contract = self._contract("scalar_reduction")
+        evaluate = contract.kernels["evaluate"]
         sol = self.match.solution
         old_value = sol["old_value"]
         self.result_value = old_value
@@ -243,8 +298,11 @@ class _SiteBuilder:
                 acc = evaluate(kernel.expr, params_i, caps)
             return acc
 
-        site = runtime.new_site("Reduction", "scalar_reduction", handler,
-                                f"reduction in @{self.function.name}")
+        site = runtime.new_site(
+            "Reduction", "scalar_reduction", handler,
+            f"reduction in @{self.function.name}",
+            backend=contract.backend,
+            reads=tuple(range(ptr_lo, ptr_lo + n_reads)))
         handler.__defaults__[0][0] = site
         site.stats["reads_per_element"] = n_reads
         site.stats["flops_per_element"] = _expr_flops(kernel.expr)
@@ -252,6 +310,8 @@ class _SiteBuilder:
 
     # -- Histogram -----------------------------------------------------------------
     def _build_histogram(self, runtime: ApiRuntime) -> ApiCallSite:
+        contract = self._contract("histogram_reduction")
+        evaluate = contract.kernels["evaluate"]
         sol = self.match.solution
         self._check_escapes([])
 
@@ -318,8 +378,12 @@ class _SiteBuilder:
                 data[idx[i]] = evaluate(value_kernel.expr, params_i, caps)
             return None
 
-        site = runtime.new_site("Histogram", "histogram_reduction", handler,
-                                f"histogram in @{self.function.name}")
+        site = runtime.new_site(
+            "Histogram", "histogram_reduction", handler,
+            f"histogram in @{self.function.name}",
+            backend=contract.backend,
+            reads=tuple(range(ptr_lo, ptr_lo + n_reads)),
+            writes=(bin_arg,))
         handler.__defaults__[0][0] = site
         site.stats["reads_per_element"] = n_reads
         site.stats["flops_per_element"] = _expr_flops(value_kernel.expr) + \
@@ -328,6 +392,8 @@ class _SiteBuilder:
 
     # -- SPMV --------------------------------------------------------------------
     def _build_spmv(self, runtime: ApiRuntime) -> ApiCallSite:
+        contract = self._contract("sparse_matrix_op")
+        spmv = contract.kernels["spmv"]
         sol = self.match.solution
         self._check_escapes([])
         i_begin = self._arg(sol["iter_begin"])
@@ -356,17 +422,23 @@ class _SiteBuilder:
             val = args[vals_arg].view()
             x = args[x_arg].view()
             y = args[y_arg].view()
-            y[begin:end] = sparse.csr_spmv(row_ptr, col, val, x)
+            y[begin:end] = spmv(row_ptr, col, val, x)
             return None
 
-        site = runtime.new_site("SPMV", "sparse_matrix_op", handler,
-                                f"csr spmv in @{self.function.name}")
+        site = runtime.new_site(
+            "SPMV", "sparse_matrix_op", handler,
+            f"csr spmv in @{self.function.name}",
+            backend=contract.backend,
+            reads=(rows_arg, cols_arg, vals_arg, x_arg),
+            writes=(y_arg,))
         handler.__defaults__[0][0] = site
         site.stats["flops_per_element"] = 2
         return site
 
     # -- GEMM --------------------------------------------------------------------
     def _build_gemm(self, runtime: ApiRuntime) -> ApiCallSite:
+        contract = self._contract("matrix_op")
+        matmul = contract.kernels["matmul_tt"]
         sol = self.match.solution
         self._check_escapes([])
         for key in ("loop[0].iter_begin", "loop[1].iter_begin",
@@ -398,12 +470,16 @@ class _SiteBuilder:
             a_eff = operands["input1"].matrix(args, k)   # [col=m, row=k]
             b_eff = operands["input2"].matrix(args, k)   # [col=n, row=k]
             a2, b2 = a_eff(m), b_eff(n)
-            prod = np.einsum("ik,jk->ij", a2, b2)
+            prod = matmul(a2, b2)
             operands["output"].write(args, m, n, al, be, prod)
             return None
 
-        site = runtime.new_site("GEMM", "matrix_op", handler,
-                                f"gemm in @{self.function.name}")
+        site = runtime.new_site(
+            "GEMM", "matrix_op", handler,
+            f"gemm in @{self.function.name}",
+            backend=contract.backend,
+            reads=(operands["input1"].base_arg, operands["input2"].base_arg),
+            writes=(operands["output"].base_arg,))
         handler.__defaults__[0][0] = site
         site.stats["flops_per_element"] = 2
         return site
@@ -441,6 +517,8 @@ class _SiteBuilder:
 
     # -- Stencil ---------------------------------------------------------------------
     def _build_stencil(self, runtime: ApiRuntime) -> ApiCallSite:
+        contract = self._contract("stencil")
+        evaluate = contract.kernels["evaluate"]
         sol = self.match.solution
         self._check_escapes([])
         dims = {"Stencil1D": 1, "Stencil2D": 2, "Stencil3D": 3}[
@@ -506,41 +584,16 @@ class _SiteBuilder:
             out[out_slices] = result
             return None
 
-        site = runtime.new_site(self.match.idiom, "stencil", handler,
-                                f"{dims}-D stencil in @{self.function.name}")
+        site = runtime.new_site(
+            self.match.idiom, "stencil", handler,
+            f"{dims}-D stencil in @{self.function.name}",
+            backend=contract.backend,
+            reads=tuple(info[0] for info in read_info),
+            writes=(write_arg,))
         handler.__defaults__[0][0] = site
         site.stats["reads_per_element"] = len(read_info)
         site.stats["flops_per_element"] = _expr_flops(kernel.expr)
         return site
-
-    # -- rewiring ---------------------------------------------------------------------
-    def insert_call(self, site: ApiCallSite) -> None:
-        """Insert the API call; route the idiom's result to its users."""
-        ret_type = VOID if self.result_value is None else \
-            self.result_value.type
-        call = CallInst(site.callee, self.args, ret_type)
-        if not ret_type.is_void():
-            call.name = self.function.unique_name("apiresult")
-        term = self.preheader.terminator
-        self.preheader.insert(term.index_in_block(), call)
-
-        if self.result_value is not None:
-            loop_blocks = {id(b) for b in self.loop.blocks}
-            for use in list(self.result_value.uses):
-                parent = getattr(use.user, "parent", None)
-                if parent is not None and id(parent) not in loop_blocks:
-                    use.user.set_operand(use.index, call)
-
-    def bypass_loop(self) -> None:
-        """Retarget the preheader branch from the loop header to the exit."""
-        term = self.preheader.terminator
-        for i, op in enumerate(term.operands):
-            if op is self.loop.header:
-                term.set_operand(i, self.exit_block)
-
-    def rewire(self, site: ApiCallSite) -> None:
-        self.insert_call(site)
-        self.bypass_loop()
 
 
 @dataclass
