@@ -39,10 +39,18 @@ class FunctionAnalyses:
         self._stores_by_base: dict[int, list[StoreInst]] | None = None
         self._by_type_kind: dict[str, list[Value]] | None = None
         self._universe: list[Value] | None = None
+        self._opcode_set: frozenset[str] | None = None
+        self._max_loop_depth: int | None = None
         #: Solution sets of memoized sub-constraints (e.g. ``For``), keyed
         #: by the sub-constraint's cache key. Shared by every solver that
         #: runs over this function.
         self.memo_solutions: dict[str, list[dict]] = {}
+        #: The plan forest's shared per-function subquery memo: collect
+        #: instance sets keyed by (structural signature, context bindings).
+        #: Filled during one detection pass and shared by every idiom in
+        #: it, so structurally identical collects (e.g. Reduction's and
+        #: Histogram's vector-read families) enumerate once per context.
+        self.subquery_cache: dict[tuple, list[dict]] = {}
 
     @property
     def cfg(self) -> InstructionCFG:
@@ -136,6 +144,22 @@ class FunctionAnalyses:
                                  []).append(inst)
             self._stores_by_base = index
         return self._stores_by_base
+
+    @property
+    def opcode_set(self) -> frozenset[str]:
+        """The opcodes present in the function — the index the forest's
+        compile-time feasibility signatures are checked against."""
+        if self._opcode_set is None:
+            self._opcode_set = frozenset(self.by_opcode)
+        return self._opcode_set
+
+    @property
+    def max_loop_depth(self) -> int:
+        """Deepest natural-loop nesting in the function (0 = loop-free)."""
+        if self._max_loop_depth is None:
+            self._max_loop_depth = max(
+                (loop.depth for loop in self.loops.loops), default=0)
+        return self._max_loop_depth
 
     @property
     def universe(self) -> list[Value]:

@@ -51,7 +51,9 @@ def run_benchmark(workload_names: list[str] | None = None,
             raise SystemExit(
                 f"unknown workloads: {', '.join(sorted(unknown))} "
                 f"(choose from {', '.join(w.name for w in workloads)})")
-    plan_detector = IdiomDetector()
+    # This benchmark tracks the *per-idiom* plan executor (the detector's
+    # default is now the cross-idiom forest; bench_detect covers it).
+    plan_detector = IdiomDetector(ordering="plan")
     legacy_detector = IdiomDetector(ordering="dynamic", memo=False,
                                     indexed=False)
     rows: dict[str, dict] = {}

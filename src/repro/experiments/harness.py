@@ -86,6 +86,10 @@ _CACHE: dict[str, WorkloadEvaluation] = {}
 #: valid across settings.
 DETECT_WORKERS = 1
 DETECT_MODE = "thread"
+#: Solve configuration (``--ordering``): the cross-idiom plan forest by
+#: default; "plan" (per-idiom static plans) and "dynamic" (the seed's
+#: per-step ordering) produce bit-identical reports, more slowly.
+DETECT_ORDERING = "forest"
 
 #: Execution defaults, settable from the CLI (``--engine`` / ``--scale``).
 #: Engines are output- and profile-identical, so results only depend on the
@@ -112,13 +116,14 @@ def evaluate_workload(workload: Workload, scale: int | None = None,
     # wall clock is not — keep the pool config in the cache key.
     backends_key = "*" if BACKENDS is None else ",".join(sorted(BACKENDS))
     key = f"{workload.name}@{scale}:{execute}:{effective_workers}:" \
-          f"{DETECT_MODE}:{engine}:{backends_key}"
+          f"{DETECT_MODE}:{DETECT_ORDERING}:{engine}:{backends_key}"
     if key in _CACHE:
         return _CACHE[key]
     compiled = compile_workload(
         workload.name, workload.source,
         workers=effective_workers,
         detect_mode=DETECT_MODE,
+        ordering=DETECT_ORDERING,
         verify=False)
     ev = WorkloadEvaluation(workload, compiled,
                             compile_base_s=compiled.compile_seconds,
@@ -522,7 +527,8 @@ _EXPERIMENTS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    global DETECT_WORKERS, DETECT_MODE, ENGINE, SCALE, BACKENDS, PLACEMENT
+    global DETECT_WORKERS, DETECT_MODE, DETECT_ORDERING, ENGINE, SCALE, \
+        BACKENDS, PLACEMENT
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -537,6 +543,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--detect-mode", choices=["thread", "process"],
                         default="thread",
                         help="worker pool flavour for detection")
+    parser.add_argument("--ordering",
+                        choices=["forest", "plan", "dynamic"],
+                        default=DETECT_ORDERING,
+                        help="constraint-solve configuration: the fused "
+                             "cross-idiom plan forest (default), per-idiom "
+                             "static plans, or the seed's dynamic ordering "
+                             "— reports are bit-identical")
     parser.add_argument("--engine", choices=sorted(ENGINES),
                         default=DEFAULT_ENGINE,
                         help=f"execution engine (default {DEFAULT_ENGINE}; "
@@ -567,6 +580,7 @@ def main(argv: list[str] | None = None) -> int:
                          f"(choose from {', '.join(sorted(known))})")
     DETECT_WORKERS = args.workers
     DETECT_MODE = args.detect_mode
+    DETECT_ORDERING = args.ordering
     ENGINE = args.engine
     SCALE = args.scale
     BACKENDS = args.backends

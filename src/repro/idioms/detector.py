@@ -30,18 +30,26 @@ DETECTOR_LIMITS = SolveLimits(max_solutions=2_000)
 class IdiomDetector:
     """Detects the paper's five idiom classes across a module.
 
-    ``ordering``/``memo``/``indexed`` select the solve configuration
-    (static plans with memoized building blocks and indexed generators by
-    default; the seed's dynamic unindexed behaviour for benchmarking).
+    ``ordering``/``memo``/``indexed`` select the solve configuration.
+    The default ``ordering="forest"`` matches the whole idiom library as
+    one fused plan forest per function — compile-time feasibility
+    signatures skip provably unmatchable idioms, shared constraint
+    prefixes execute once, and one per-function subquery memo serves
+    every idiom (see :mod:`repro.idl.forest`). ``ordering="plan"``
+    retains the per-idiom static-plan executor and ``"dynamic"`` (with
+    ``memo=False``/``indexed=False``) the seed's per-step behaviour, both
+    for benchmarking; all three produce bit-identical match sets.
     """
 
     def __init__(self, compiler: IdiomCompiler | None = None,
                  idioms: list[str] | None = None,
                  limits: SolveLimits | None = None,
                  max_solutions: int | None = None,
-                 ordering: str = "plan",
+                 ordering: str = "forest",
                  memo: bool = True,
                  indexed: bool = True):
+        if ordering not in ("forest", "plan", "dynamic"):
+            raise IDLError(f"unknown ordering {ordering!r}")
         #: Process-mode workers rebuild the detector from configuration
         #: alone, which only works for the standard library.
         self.standard_library = compiler is None
@@ -90,10 +98,26 @@ class IdiomDetector:
         if analyses is None:
             analyses = FunctionAnalyses(function)
         matches: list[IdiomMatch] = []
-        for idiom in self.idioms:
-            found, solve_stats = self._detect_idiom(function, idiom, analyses)
+        if self.ordering == "forest":
+            # One fused pass: every idiom's matches from a single forest
+            # walk. Match.stats is the pass-level accounting, shared by
+            # every match of the function.
+            solutions, solve_stats = self.compiler.match_library(
+                function, self.idioms, analyses=analyses,
+                limits=self.limits, memo=self.memo, indexed=self.indexed)
             stats.merge(solve_stats)
-            matches.extend(found)
+            for idiom in self.idioms:
+                matches.extend(
+                    m for m in (IdiomMatch(idiom, function, sol,
+                                           stats=solve_stats)
+                                for sol in solutions[idiom])
+                    if _post_filter(m))
+        else:
+            for idiom in self.idioms:
+                found, solve_stats = self._detect_idiom(
+                    function, idiom, analyses)
+                stats.merge(solve_stats)
+                matches.extend(found)
         matches = _dedup_by_anchor(matches)
         matches = _resolve_overlaps(matches)
         return matches, stats

@@ -47,6 +47,14 @@ class DetectionSession:
             detector = IdiomDetector()
         if mode not in ("thread", "process"):
             raise IDLError(f"unknown detection mode {mode!r}")
+        if mode == "process" and not detector.standard_library:
+            # Fail at construction, not first use: a process session with
+            # a custom compiler would otherwise silently run the standard
+            # library (workers rebuild the detector from configuration).
+            raise IDLError(
+                "process-mode detection supports the standard idiom "
+                "library only (workers rebuild the detector from "
+                "configuration); use mode='thread' for custom compilers")
         self.detector = detector
         self.workers = max(1, int(workers))
         self.mode = mode
@@ -66,9 +74,11 @@ class DetectionSession:
             return report
         # Lower and plan every idiom up front, whatever the ordering:
         # workers must only read the compiler caches (the shared Lowerer's
-        # memo machinery is not safe to run concurrently).
-        self.detector.compiler.prepare(self.detector.idioms,
-                                       memo=self.detector.memo)
+        # memo machinery, like the forest builder, is not safe to run
+        # concurrently).
+        self.detector.compiler.prepare(
+            self.detector.idioms, memo=self.detector.memo,
+            forest=self.detector.ordering == "forest")
         if self.workers <= 1:
             results = [self._detect_batch(functions)]
         elif self.mode == "thread":

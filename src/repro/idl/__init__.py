@@ -8,6 +8,13 @@ solver enumerates every occurrence in user code.
 
 from .ast import Specification, VarRef
 from .compiler import IdiomCompiler
+from .forest import (
+    FeasibilitySignature,
+    PlanForest,
+    build_forest,
+    execute_forest,
+    feasibility_signature,
+)
 from .lexer import tokenize
 from .lowering import (
     LAnd,
@@ -26,20 +33,32 @@ from .natives import (
     standard_natives,
 )
 from .parser import parse_idl, parse_var_text
-from .plan import AndPlan, CollectPlan, OrPlan, Plan, compile_plan, node_cost
-from .solver import SolveLimits, Solver, SolverStats
+from .plan import (
+    AndPlan,
+    CollectPlan,
+    OrPlan,
+    Plan,
+    compile_plan,
+    node_cost,
+    node_signature,
+    plan_signature,
+)
+from .solver import DEFAULT_MAX_STEPS, SolveLimits, Solver, SolverStats
 from .atoms import AtomEngine, SolveContext, atom_cost, value_key, \
     values_equal
 
 __all__ = [
     "Specification", "VarRef",
     "IdiomCompiler",
+    "FeasibilitySignature", "PlanForest", "build_forest", "execute_forest",
+    "feasibility_signature",
     "tokenize",
     "LAnd", "LAtom", "LCollect", "LMemo", "LNative", "LOr",
     "Lowerer", "NativeConstraint", "Registry",
     "ConcatConstraint", "KernelFunctionConstraint", "standard_natives",
     "parse_idl", "parse_var_text",
     "AndPlan", "CollectPlan", "OrPlan", "Plan", "compile_plan", "node_cost",
-    "SolveLimits", "Solver", "SolverStats",
+    "node_signature", "plan_signature",
+    "DEFAULT_MAX_STEPS", "SolveLimits", "Solver", "SolverStats",
     "AtomEngine", "SolveContext", "atom_cost", "value_key", "values_equal",
 ]

@@ -60,12 +60,31 @@ def values_equal(a: Value, b: Value) -> bool:
 
 
 def value_key(value: Value):
-    """A hashable identity for solution deduplication."""
+    """A hashable identity for solution deduplication.
+
+    Keys are interned on the value object: the solver's dedup paths
+    (solution sets, memo tables, collect instances, the forest's subquery
+    cache) recompute the key of the same value thousands of times per
+    function, so the isinstance dispatch and tuple construction are paid
+    once per object instead of once per comparison. Constants stay
+    structurally keyed — two equal constants built independently intern
+    equal (not identical) keys, which is all dedup needs.
+    """
+    try:
+        return value._value_key
+    except AttributeError:
+        pass
     if isinstance(value, ConstantInt):
-        return ("ci", value.type, value.value)
-    if isinstance(value, ConstantFloat):
-        return ("cf", value.type, value.value)
-    return id(value)
+        key = ("ci", value.type, value.value)
+    elif isinstance(value, ConstantFloat):
+        key = ("cf", value.type, value.value)
+    else:
+        key = id(value)
+    try:
+        value._value_key = key
+    except (AttributeError, TypeError):  # __slots__ values stay uncached
+        pass
+    return key
 
 
 class SolveContext:

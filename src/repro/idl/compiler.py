@@ -18,7 +18,12 @@ This is the user-facing entry point mirroring the paper's Figure 1 pipeline
 Each named constraint is lowered once and compiled to a static execution
 plan once (paper §4.4); both are cached. ``match`` executes the cached
 plan; passing ``ordering="dynamic"``/``memo=False``/``indexed=False``
-restores the seed's per-step dynamic behaviour for benchmarking.
+restores the seed's per-step dynamic behaviour for benchmarking, and
+``ordering="forest"`` (or :meth:`IdiomCompiler.match_library` directly)
+routes the solve through the cross-idiom plan forest
+(:mod:`repro.idl.forest`): several idioms matched in one fused pass with
+compile-time feasibility pre-filters and shared constraint prefixes —
+same match sets, bit for bit.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from __future__ import annotations
 from ..analysis.info import FunctionAnalyses
 from ..errors import IDLError
 from ..ir.module import Function, Module
+from .forest import PlanForest, build_forest, execute_forest
 from .lowering import Lowerer, Registry
 from .natives import standard_natives
 from .parser import parse_idl
@@ -47,6 +53,7 @@ class IdiomCompiler:
             DEFAULT_MEMO_SPECS if memo_specs is None else memo_specs)
         self._lowered_cache: dict[tuple, object] = {}
         self._plan_cache: dict[tuple, Plan] = {}
+        self._forest_cache: dict[tuple, PlanForest] = {}
         self._lowerers: dict[bool, Lowerer] = {}
         if load_natives:
             for native in standard_natives():
@@ -60,6 +67,7 @@ class IdiomCompiler:
             self.registry.add_spec(spec)
         self._lowered_cache.clear()
         self._plan_cache.clear()
+        self._forest_cache.clear()
         self._lowerers.clear()
         return [spec.name for spec in specs]
 
@@ -91,16 +99,35 @@ class IdiomCompiler:
                 name, params, memo))
         return self._plan_cache[key]
 
+    def forest_for(self, names: list[str] | tuple[str, ...],
+                   memo: bool = True) -> PlanForest:
+        """The cross-idiom plan forest of a set of idioms (cached).
+
+        Per-idiom plans are merged into a shared prefix trie and each
+        idiom gains a compile-time feasibility signature; see
+        :mod:`repro.idl.forest`.
+        """
+        key = (tuple(names), memo)
+        if key not in self._forest_cache:
+            plans = {name: self.plan_for(name, memo=memo) for name in names}
+            lowered = {name: self.compile(name, memo=memo) for name in names}
+            self._forest_cache[key] = build_forest(names, plans, lowered)
+        return self._forest_cache[key]
+
     def prepare(self, names: list[str] | None = None,
-                memo: bool = True) -> None:
+                memo: bool = True, forest: bool = False) -> None:
         """Eagerly compile lowered forms and plans (e.g. before fanning a
         detection session out across worker threads — workers then only
         read the caches). ``memo`` must match the configuration the
-        solves will use, or the warm-up fills the wrong cache keys."""
-        for name in names if names is not None else self.names():
-            if self.registry.native(name) is not None:
-                continue
+        solves will use, or the warm-up fills the wrong cache keys;
+        ``forest`` additionally builds the cross-idiom plan forest."""
+        resolved = [name for name in
+                    (names if names is not None else self.names())
+                    if self.registry.native(name) is None]
+        for name in resolved:
             self.plan_for(name, memo=memo)
+        if forest:
+            self.forest_for(tuple(resolved), memo=memo)
 
     # -- solving ---------------------------------------------------------------------
     def match(self, function: Function, name: str,
@@ -128,6 +155,11 @@ class IdiomCompiler:
                          indexed: bool = True
                          ) -> tuple[list[dict], SolverStats]:
         """Like :meth:`match`, also returning the solve's search stats."""
+        if ordering == "forest":
+            solutions, stats = self.match_library(
+                function, [name], analyses=analyses, limits=limits,
+                max_solutions=max_solutions, memo=memo, indexed=indexed)
+            return solutions[name], stats
         if ordering not in ("plan", "dynamic"):
             raise IDLError(f"unknown ordering {ordering!r}")
         limits = (limits or SolveLimits()).with_overrides(max_solutions)
@@ -138,6 +170,39 @@ class IdiomCompiler:
             if ordering == "plan" else None
         solver = Solver(function, analyses, limits, indexed=indexed)
         return solver.solutions(lowered, plan), solver.stats
+
+    def match_library(self, function: Function, names: list[str],
+                      analyses: FunctionAnalyses | None = None,
+                      limits: SolveLimits | None = None,
+                      max_solutions: int | None = None,
+                      memo: bool = True, indexed: bool = True
+                      ) -> tuple[dict[str, list[dict]], SolverStats]:
+        """All matches of several idioms in one fused forest pass.
+
+        One solver walks the shared plan forest once per function;
+        idioms whose feasibility signature rules the function out are
+        skipped without solving (and counted in
+        ``stats.feasibility_skips``). Per-idiom solution lists are
+        identical — contents and order — to per-idiom ``ordering="plan"``
+        solves. The step budget covers the whole pass, scaled by the
+        number of feasible idioms: per-idiom mode grants ``max_steps``
+        per solve, and the fused pass never uses more ticks than the sum
+        of the solves it replaces, so any function that fit the per-idiom
+        budgets fits this one.
+        """
+        limits = (limits or SolveLimits()).with_overrides(max_solutions)
+        forest = self.forest_for(tuple(names), memo=memo)
+        if function.is_declaration():
+            return {name: [] for name in names}, \
+                SolverStats(max_steps=limits.max_steps)
+        solver = Solver(function, analyses, limits, indexed=indexed)
+        feasible = forest.feasible(solver.context.analyses)
+        solver.stats.feasibility_skips += len(names) - len(feasible)
+        solver.stats.max_steps = limits.max_steps * max(1, len(feasible))
+        solutions = execute_forest(solver, forest, feasible)
+        for name in names:
+            solutions.setdefault(name, [])
+        return solutions, solver.stats
 
     def match_module(self, module: Module, name: str,
                      params: dict[str, int] | None = None,

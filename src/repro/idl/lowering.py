@@ -50,11 +50,16 @@ class LAtom:
     extra: dict = field(default_factory=dict)
     varlists: list[list[str]] = field(default_factory=list)
 
-    def free_vars(self) -> set[str]:
-        names = set(self.vars)
-        for vl in self.varlists:
-            names.update(vl)
-        return names
+    def free_vars(self) -> frozenset[str]:
+        # Lowered atoms are immutable once built and their free-variable
+        # sets are consulted on every cost ranking; build the set once.
+        cached = getattr(self, "_free_vars", None)
+        if cached is None:
+            names = set(self.vars)
+            for vl in self.varlists:
+                names.update(vl)
+            cached = self._free_vars = frozenset(names)
+        return cached
 
     def __repr__(self) -> str:
         return f"LAtom({self.kind} {self.vars} {self.extra})"

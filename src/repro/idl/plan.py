@@ -216,6 +216,78 @@ def _compile_and(node: LAnd, bound: frozenset) -> AndPlan:
     return AndPlan(node, 0, frozenset(current) - bound, steps)
 
 
+# ---------------------------------------------------------------------------
+# Structural signatures (the plan forest's sharing key)
+# ---------------------------------------------------------------------------
+
+def _same_name(name: str) -> str:
+    return name
+
+
+def node_signature(node, rename=_same_name) -> tuple:
+    """A hashable key capturing a lowered node's full structure.
+
+    Two nodes with equal signatures are interchangeable for execution:
+    same atom kinds, same flattened variable names, same memo mappings,
+    same nested structure. The cross-idiom plan forest keys its prefix
+    trie on these, so conjunct prefixes that several idioms lower
+    identically (the ``For``/``ForNest`` building blocks) collapse into
+    one shared node. ``rename`` maps every variable name into the key —
+    identity by default; the forest's subquery cache passes a
+    root-canonicalizer so renamed-but-isomorphic subqueries key equal.
+    """
+    if isinstance(node, LAtom):
+        return ("atom", node.kind, tuple(rename(v) for v in node.vars),
+                tuple(sorted(node.extra.items())),
+                tuple(tuple(rename(v) for v in vl)
+                      for vl in node.varlists))
+    if isinstance(node, LAnd):
+        return ("and",) + tuple(node_signature(c, rename)
+                                for c in node.children)
+    if isinstance(node, LOr):
+        return ("or",) + tuple(node_signature(c, rename)
+                               for c in node.children)
+    if isinstance(node, LMemo):
+        return ("memo", node.key,
+                tuple(sorted((c, rename(v))
+                             for c, v in node.mapping.items())))
+    if isinstance(node, LNative):
+        return ("native", node.name,
+                tuple(sorted((a, rename(v))
+                             for a, v in node.args.items())))
+    if isinstance(node, LCollect):
+        return ("collect", node.limit,
+                node_signature(node.instance, rename),
+                tuple(tuple(sorted((rename(a), rename(b))
+                                   for a, b in m.items()))
+                      for m in node.index_names))
+    raise IDLError(f"cannot fingerprint node {type(node).__name__}")
+
+
+def plan_signature(plan: Plan, rename=_same_name) -> tuple:
+    """A hashable key capturing a compiled plan's structure *and* order.
+
+    Signatures include the scheduled cost and assumed bindings alongside
+    the recursive step/branch/body structure, so equal signatures imply
+    the two plans execute the exact same search in the exact same order —
+    the property that keeps forest-mode match sets bit-identical to the
+    per-idiom executor. ``rename`` is threaded through as in
+    :func:`node_signature`.
+    """
+    base: tuple = (type(plan).__name__, plan.cost,
+                   tuple(sorted(rename(b) for b in plan.binds)),
+                   node_signature(plan.node, rename))
+    if isinstance(plan, AndPlan):
+        return base + tuple(plan_signature(s, rename) for s in plan.steps)
+    if isinstance(plan, OrPlan):
+        return base + tuple(plan_signature(b, rename)
+                            for b in plan.branches)
+    if isinstance(plan, CollectPlan):
+        return base + (None if plan.body is None
+                       else plan_signature(plan.body, rename),)
+    return base
+
+
 def _collect_bindings(node: LCollect, bound: frozenset) -> frozenset:
     """Names a collect optimistically binds: every indexed variable of
     every instance, plus the ``#len`` family markers. At runtime fewer

@@ -29,20 +29,21 @@ from .plan import AndPlan, CollectPlan, OrPlan, Plan, node_cost
 # Re-exported for backward compatibility (they used to live here).
 from .plan import COST_COLLECT, COST_OR_DEFER  # noqa: F401
 
+#: Default search-step cap shared by :class:`SolveLimits` (the configured
+#: budget) and :class:`SolverStats` (the enforcing counter). Ticks count
+#: every atom execution, candidate, and scan-filtered universe element
+#: (the seed budget ignored scan filtering), so the cap is 4x the seed's
+#: 5M to keep the same effective headroom for scan-heavy searches.
+DEFAULT_MAX_STEPS = 20_000_000
+
 
 @dataclass(frozen=True)
 class SolveLimits:
     """The one budget configuration threaded through compiler, solver and
-    detector: solution cap and search-step cap for a single solve.
-
-    Ticks count every atom execution, candidate, and scan-filtered
-    universe element (the seed budget ignored scan filtering), so the
-    default step cap is 4x the seed's 5M to keep the same effective
-    headroom for scan-heavy searches.
-    """
+    detector: solution cap and search-step cap for a single solve."""
 
     max_solutions: int = 10_000
-    max_steps: int = 20_000_000
+    max_steps: int = DEFAULT_MAX_STEPS
 
     def with_overrides(self, max_solutions: int | None = None,
                        max_steps: int | None = None) -> "SolveLimits":
@@ -64,6 +65,10 @@ class SolverStats:
     a planned step was not ready and the dynamic ordering took over,
     ``stuck_branches`` abandoned search paths, and ``memo_hits``/``misses``
     the per-function memo cache behaviour for shared sub-constraints.
+    ``feasibility_skips`` counts (function, idiom) solves the forest's
+    compile-time signatures proved empty without touching the solver, and
+    ``subquery_hits`` replays of the forest's shared per-function collect
+    cache (both zero outside ``ordering="forest"``).
     """
 
     ticks: int = 0
@@ -72,7 +77,9 @@ class SolverStats:
     stuck_branches: int = 0
     memo_hits: int = 0
     memo_misses: int = 0
-    max_steps: int = 20_000_000
+    feasibility_skips: int = 0
+    subquery_hits: int = 0
+    max_steps: int = DEFAULT_MAX_STEPS
 
     def tick(self) -> None:
         self.ticks += 1
@@ -87,6 +94,8 @@ class SolverStats:
         self.stuck_branches += other.stuck_branches
         self.memo_hits += other.memo_hits
         self.memo_misses += other.memo_misses
+        self.feasibility_skips += other.feasibility_skips
+        self.subquery_hits += other.subquery_hits
         return self
 
     def as_dict(self) -> dict[str, int]:
@@ -97,6 +106,8 @@ class SolverStats:
             "stuck_branches": self.stuck_branches,
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
+            "feasibility_skips": self.feasibility_skips,
+            "subquery_hits": self.subquery_hits,
         }
 
 
@@ -323,6 +334,15 @@ class Solver:
         subsets: there is exactly one extension (possibly with zero
         instances found).
         """
+        solutions = self.collect_instances(node, env, body_plan)
+        yield from self.apply_collect(node, env, solutions)
+
+    def collect_instances(self, node: LCollect, env: dict,
+                          body_plan: Plan | None = None) -> list[dict]:
+        """The enumeration half of a collect: distinct body solutions,
+        projected onto the instance-0 indexed names (all the extension in
+        :meth:`apply_collect` reads — and what the forest's shared
+        per-function subquery cache stores)."""
         indexed = sorted(node.indexed_vars())
         solutions: list[dict] = []
         seen: set = set()
@@ -334,9 +354,18 @@ class Solver:
             if key in seen:
                 continue
             seen.add(key)
-            solutions.append(sol)
+            solutions.append({name: sol[name] for name in indexed
+                              if name in sol})
             if len(solutions) >= node.limit:
                 break
+        return solutions
+
+    def apply_collect(self, node: LCollect, env: dict,
+                      solutions: list[dict]) -> Iterator[dict]:
+        """The extension half of a collect: bind solution ``j``'s indexed
+        names through ``index_names[j]`` plus the ``#len`` family markers
+        (exactly one extension, or none on an inconsistent binding)."""
+        indexed = sorted(node.indexed_vars())
         new_env = dict(env)
         bases: set[str] = set()
         for j, sol in enumerate(solutions):

@@ -83,13 +83,16 @@ class ExecutionResult:
 
 def compile_workload(name: str, source: str, workers: int = 1,
                      detect_mode: str = "thread",
+                     ordering: str = "forest",
                      verify: bool = True) -> CompiledWorkload:
     """Compile and detect, recording wall-clock for Table 2.
 
     ``workers``/``detect_mode`` configure the detection session's worker
-    pool; the report is identical regardless (deterministic merge).
-    ``verify=False`` skips post-convergence IR verification — the
-    experiment harness's hot path; tests keep it on.
+    pool and ``ordering`` the solve configuration (cross-idiom plan
+    forest by default); the report is identical regardless
+    (deterministic merge, bit-identical match sets). ``verify=False``
+    skips post-convergence IR verification — the experiment harness's
+    hot path; tests keep it on.
     """
     import time
 
@@ -97,8 +100,8 @@ def compile_workload(name: str, source: str, workers: int = 1,
     module = compile_c(source, name)
     optimize(module, verify=verify)
     t1 = time.perf_counter()
-    report = IdiomDetector().detect(module, workers=workers,
-                                    mode=detect_mode)
+    report = IdiomDetector(ordering=ordering).detect(module, workers=workers,
+                                                     mode=detect_mode)
     t2 = time.perf_counter()
     return CompiledWorkload(name, module, report,
                             compile_seconds=t1 - t0,

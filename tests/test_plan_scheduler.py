@@ -148,9 +148,10 @@ class TestPlanCompilation:
             plan_idl.plan_for("Reduction")
 
     def test_memoized_for_solved_once_per_function(self):
-        """All seven idioms share one cached For solution set."""
+        """All seven idioms share one cached For solution set (per-idiom
+        plan mode: every feasible idiom replays the same memo entry)."""
         module = compiled(SNIPPETS["reduction"])
-        detector = IdiomDetector()
+        detector = IdiomDetector(ordering="plan")
         session = DetectionSession(detector)
         report = session.detect(module)
         assert report.by_idiom() == {"Reduction": 1}
@@ -158,6 +159,20 @@ class TestPlanCompilation:
         assert "For()" in analyses.memo_solutions
         assert report.stats.memo_misses == 1
         assert report.stats.memo_hits >= len(TOP_LEVEL_IDIOMS) - 1
+
+    def test_forest_skips_infeasible_idioms_entirely(self):
+        """Forest mode solves only feasible idioms: the reduction snippet
+        has no store, so every idiom but Reduction is skipped before the
+        solver runs — same matches, fewer memo replays."""
+        module = compiled(SNIPPETS["reduction"])
+        detector = IdiomDetector()  # ordering="forest" is the default
+        assert detector.ordering == "forest"
+        session = DetectionSession(detector)
+        report = session.detect(module)
+        assert report.by_idiom() == {"Reduction": 1}
+        assert report.stats.feasibility_skips == len(TOP_LEVEL_IDIOMS) - 1
+        assert report.stats.memo_misses == 1
+        assert session.analyses["f"].subquery_cache
 
     def test_plan_reduces_search_steps(self):
         module = compiled(SNIPPETS["spmv"])
@@ -283,13 +298,17 @@ class TestDetectionSession:
         for match in parallel.matches:
             assert match.function is module.functions[match.function.name]
 
-    def test_process_mode_rejects_custom_compilers(self, suite_modules):
+    def test_process_mode_rejects_custom_compilers(self):
+        """A custom compiler with mode='process' fails at session
+        construction — before any work, even at workers=1 (where the old
+        lazy check never fired and the standard library was silently
+        assumed)."""
         idl = IdiomCompiler()
         load_library(idl)
         detector = IdiomDetector(compiler=idl)
-        session = DetectionSession(detector, workers=2, mode="process")
-        with pytest.raises(IDLError, match="process-mode"):
-            session.detect(suite_modules["histo"])
+        for workers in (1, 2):
+            with pytest.raises(IDLError, match="process-mode"):
+                DetectionSession(detector, workers=workers, mode="process")
 
     def test_unknown_mode_rejected(self):
         with pytest.raises(IDLError, match="unknown detection mode"):
