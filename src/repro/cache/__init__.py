@@ -1,0 +1,28 @@
+"""Content-addressed incremental compilation and detection artifacts.
+
+The service-shaped entry point for warm traffic: detection results are
+keyed by a fingerprint of everything that can change them (canonical IR
+text, module globals, idiom library, detector configuration, pass
+pipeline — :mod:`.fingerprint`), persisted in an atomic, versioned,
+corruption-tolerant on-disk store (:mod:`.store`), and replayed by the
+detection scheduler so that re-submitting a module after editing one
+function re-solves only that function (:mod:`.detection`, wired through
+:class:`repro.idioms.scheduler.DetectionSession`).
+"""
+
+from .detection import CachedDetection, DetectionCache
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    detection_config_signature,
+    function_fingerprint,
+    globals_signature,
+    summary_fingerprint,
+)
+from .store import STORE_VERSION, ArtifactStore, StoreStats
+
+__all__ = [
+    "ArtifactStore", "StoreStats", "STORE_VERSION",
+    "CachedDetection", "DetectionCache",
+    "FINGERPRINT_VERSION", "detection_config_signature",
+    "function_fingerprint", "globals_signature", "summary_fingerprint",
+]

@@ -1,0 +1,160 @@
+"""Detection artifacts: per-function match reports + analysis summaries.
+
+A :class:`DetectionCache` binds an :class:`~repro.cache.store.ArtifactStore`
+to one detection configuration signature and speaks the store's payload
+schema:
+
+* ``kind="detection"`` — the function's final match list (post filter,
+  dedup and overlap resolution) in the structural wire format process-mode
+  detection already uses (:func:`repro.idioms.scheduler.encode_solution`:
+  instructions as (block index, instruction index), arguments by position,
+  globals by name, constants by value), with each match's own
+  :class:`~repro.idl.solver.SolverStats` plus the function-level
+  aggregate. Per-match stats are interned into a pool by object identity
+  — forest-mode matches of one function all share one stats object, and
+  the round trip preserves both the values and the sharing. Decoding
+  rebinds every locator against the *caller's* module, so cached matches
+  point at live IR objects exactly like fresh ones — a warm report is
+  indistinguishable from the cold one, per-match ticks included, in
+  every ordering.
+* ``kind="summary"`` — the function's serializable
+  :class:`~repro.analysis.info.AnalysisSummary`, keyed by the canonical
+  function text only (no config signature, no globals — its facts are
+  pure functions of the body), so it survives idiom-library, limit and
+  module-global changes.
+
+Anything that cannot be encoded or decoded simply is not cached / is a
+miss; this layer never raises on bad artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.info import AnalysisSummary
+from ..errors import IDLError
+from ..idl.solver import SolverStats
+from ..ir.module import Function, Module
+from .fingerprint import (
+    function_fingerprint,
+    globals_signature,
+    summary_fingerprint,
+)
+from .store import ArtifactStore
+
+
+@dataclass
+class CachedDetection:
+    """One warm per-function detection result."""
+
+    matches: list  # list[IdiomMatch], decoded against the caller's module
+    stats: SolverStats
+
+
+def _stats_from(payload_stats: dict, max_steps) -> SolverStats:
+    return SolverStats(max_steps=int(max_steps),
+                       **{k: int(v) for k, v in payload_stats.items()})
+
+
+class DetectionCache:
+    """Store facade for one detector configuration."""
+
+    def __init__(self, store: ArtifactStore, config_signature: str):
+        self.store = store
+        self.config_signature = config_signature
+
+    # -- keys ------------------------------------------------------------------
+    def function_key(self, function: Function,
+                     globals_sig: str | None = None,
+                     text: str | None = None) -> str:
+        return function_fingerprint(function, self.config_signature,
+                                    globals_sig, text)
+
+    # -- detection entries -----------------------------------------------------
+    def load(self, function: Function, module: Module,
+             globals_sig: str | None = None,
+             text: str | None = None) -> CachedDetection | None:
+        """The cached detection result for ``function``, or None.
+
+        ``text`` is the precomputed canonical form (optional, avoids a
+        re-print — the dominant warm-path cost)."""
+        from ..idioms.matches import IdiomMatch
+        from ..idioms.scheduler import decode_solution
+
+        if globals_sig is None:
+            globals_sig = globals_signature(module)
+        key = self.function_key(function, globals_sig, text)
+        payload = self.store.get(key)
+        if payload is None or payload.get("kind") != "detection":
+            return None
+        try:
+            stats = _stats_from(payload["stats"], payload["max_steps"])
+            pool = [_stats_from(blob, max_steps)
+                    for blob, max_steps in payload["stats_pool"]]
+            matches = [
+                IdiomMatch(str(idiom), function,
+                           decode_solution(encoded, function, module),
+                           stats=None if index is None else pool[index])
+                for idiom, encoded, index in payload["matches"]]
+        except (IDLError, KeyError, IndexError, TypeError, ValueError):
+            # A content-addressed entry should always decode against the
+            # IR it was keyed on; if it does not, it is corrupt — drop it
+            # and report a miss (never an error).
+            self.store.invalidate(key)
+            return None
+        return CachedDetection(matches, stats)
+
+    def save(self, function: Function, matches: list, stats: SolverStats,
+             summary: AnalysisSummary | dict | None = None,
+             globals_sig: str | None = None,
+             text: str | None = None) -> bool:
+        """Persist one function's detection result (and, when given, its
+        summary — pass None when the summary was itself adopted from the
+        store, so it is not rewritten).
+
+        Matches that cannot be expressed in the wire format make the
+        whole function uncacheable (it will simply re-solve next time);
+        partial match lists must never be stored."""
+        from ..idioms.scheduler import encode_solution
+
+        pool: list = []
+        pool_index: dict[int, int] = {}
+        try:
+            encoded = []
+            for m in matches:
+                index = None
+                if m.stats is not None:
+                    index = pool_index.get(id(m.stats))
+                    if index is None:
+                        index = pool_index[id(m.stats)] = len(pool)
+                        pool.append((m.stats.as_dict(), m.stats.max_steps))
+                encoded.append((m.idiom,
+                                encode_solution(m.solution, function),
+                                index))
+        except IDLError:
+            return False
+        if summary is not None:
+            if isinstance(summary, AnalysisSummary):
+                summary = summary.as_dict()
+            self.store.put(summary_fingerprint(function, text),
+                           {"kind": "summary", "summary": summary})
+        return self.store.put(
+            self.function_key(function, globals_sig, text),
+            {"kind": "detection", "function": function.name,
+             "matches": encoded, "stats_pool": pool,
+             "stats": stats.as_dict(), "max_steps": stats.max_steps})
+
+    # -- analysis summaries ----------------------------------------------------
+    def load_summary(self, function: Function,
+                     text: str | None = None) -> AnalysisSummary | None:
+        key = summary_fingerprint(function, text)
+        payload = self.store.get(key)
+        if payload is None:
+            return None
+        try:
+            if payload.get("kind") != "summary":
+                raise ValueError("not a summary entry")
+            return AnalysisSummary.from_dict(payload["summary"])
+        except (KeyError, TypeError, ValueError):
+            self.store.invalidate(key)
+            return None

@@ -1,0 +1,170 @@
+"""Persistent, content-addressed artifact store.
+
+Entries live one-per-file under ``<root>/objects/<aa>/<hash>.json`` (two
+hex characters of sharding keeps directories small at repository scale).
+The store is deliberately boring and failure-proof:
+
+* **Atomic writes** — payloads are written to a temp file in the target
+  directory and ``os.replace``d into place, so readers never observe a
+  half-written entry, including concurrent writers across processes (the
+  last writer wins with an identical payload: entries are content-
+  addressed, so two writers of one key are writing the same bytes).
+* **Versioned** — every payload embeds :data:`STORE_VERSION`; a mismatch
+  reads as a miss, so format changes never need migrations.
+* **Corruption-tolerant** — unreadable, unparsable or mis-shaped entries
+  are misses, never errors; the offending file is unlinked best-effort.
+  A cache must not be able to take the service down.
+
+The store knows nothing about detection; payload schemas live with their
+producers (:mod:`repro.cache.detection`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+
+#: Bump on any payload schema change; old entries become misses.
+STORE_VERSION = 1
+
+_HEX = set("0123456789abcdef")
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting for one store instance (observability and the
+    bench's only-mutated-functions-resolved assertions)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+    write_errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+            "write_errors": self.write_errors,
+        }
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.writes = 0
+        self.corrupt = self.write_errors = 0
+
+
+@dataclass
+class ArtifactStore:
+    """Content-addressed JSON store rooted at ``root``."""
+
+    root: str
+    stats: StoreStats = field(default_factory=StoreStats)
+    #: Serializes stats updates — lookups run from DetectionSession
+    #: worker threads, and unsynchronized ``+=`` would lose counts.
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def _path(self, key: str) -> str:
+        if len(key) < 3 or not set(key) <= _HEX:
+            raise ValueError(f"malformed artifact key {key!r}")
+        return os.path.join(self.root, "objects", key[:2], f"{key}.json")
+
+    # -- reads ----------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The payload stored under ``key``, or None (miss).
+
+        Every failure mode — absent file, I/O error, invalid JSON,
+        non-dict payload, version mismatch — is a miss. Files whose
+        *content* is provably invalid are removed so they are not
+        re-parsed on every lookup; a transient I/O error (fd exhaustion,
+        a briefly unreadable shared mount) says nothing about the
+        content, so the file is left alone."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        except OSError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        except ValueError:
+            with self._lock:
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+            self._unlink(path)
+            return None
+        if not isinstance(payload, dict) or \
+                payload.get("version") != STORE_VERSION:
+            with self._lock:
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+            self._unlink(path)
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return payload
+
+    # -- writes ---------------------------------------------------------------
+    def put(self, key: str, payload: dict) -> bool:
+        """Atomically persist ``payload`` under ``key``.
+
+        The version field is stamped here so producers cannot forget it.
+        Write failures (full disk, read-only mount, permissions) are
+        swallowed: a store that cannot persist degrades to a cold run,
+        it does not break detection. Returns whether the write landed."""
+        path = self._path(key)
+        payload = dict(payload, version=STORE_VERSION)
+        try:
+            directory = os.path.dirname(path)
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                self._unlink(tmp)
+                raise
+        except OSError:
+            with self._lock:
+                self.stats.write_errors += 1
+            return False
+        with self._lock:
+            self.stats.writes += 1
+        return True
+
+    # -- maintenance -----------------------------------------------------------
+    def invalidate(self, key: str) -> None:
+        """Drop an entry whose *payload* a consumer found undecodable
+        (it was already counted as a hit by :meth:`get`): reclassify the
+        lookup as a corrupt miss and remove the file so it is not
+        re-parsed on every lookup."""
+        with self._lock:
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+        self._unlink(self._path(key))
+
+    @staticmethod
+    def _unlink(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def entry_count(self) -> int:
+        """Number of entries on disk (walks the tree; diagnostics only)."""
+        objects = os.path.join(self.root, "objects")
+        count = 0
+        for _, _, files in os.walk(objects):
+            count += sum(1 for f in files if f.endswith(".json"))
+        return count

@@ -41,39 +41,20 @@ import sys
 import time
 
 from ..analysis.info import FunctionAnalyses
-from ..frontend import compile_c
-from ..idioms import DetectionSession, IdiomDetector
+from ..idioms import DetectionSession, IdiomDetector, report_fingerprint
 from ..idl.atoms import value_key
 from ..ir.values import ConstantFloat, ConstantInt
-from ..passes import optimize
-from ..workloads import all_workloads
+from .suites import compile_suite
+from .timing import best_of
 
 #: Timing repetitions; the best (minimum) is reported, which is robust to
-#: scheduler noise on shared CI runners.
+#: scheduler noise on shared CI runners (--check raises it).
 REPEATS = 3
 
 
-def _fingerprint(report, by_identity: bool = True) -> list[tuple]:
-    def vkey(value):
-        return id(value) if by_identity else value_key(value)
-
-    return [(m.idiom, m.function.name,
-             tuple((k, vkey(v)) for k, v in sorted(m.solution.items())))
-            for m in report.matches]
-
-
-def _best_of(fn, repeats: int | None = None):
-    """(best_seconds, last_result) over ``repeats`` runs (default: the
-    module-level REPEATS, read at call time so --check can raise it)."""
-    if repeats is None:
-        repeats = REPEATS
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
+def _best_of(fn):
+    """Module-level REPEATS is read at call time so --check can raise it."""
+    return best_of(fn, REPEATS)
 
 
 def _independent_pass(detector: IdiomDetector, module) -> None:
@@ -131,14 +112,6 @@ def run_benchmark(workload_names: list[str] | None = None,
                   full: bool = True) -> dict:
     """Measure per-workload detection wall clock; ``full=False`` (the CI
     smoke mode) skips the independent and dynamic configurations."""
-    workloads = all_workloads()
-    if workload_names:
-        unknown = set(workload_names) - {w.name for w in workloads}
-        if unknown:
-            raise SystemExit(
-                f"unknown workloads: {', '.join(sorted(unknown))} "
-                f"(choose from {', '.join(w.name for w in workloads)})")
-
     forest_det = IdiomDetector(ordering="forest")
     plan_det = IdiomDetector(ordering="plan")
     dynamic_det = IdiomDetector(ordering="dynamic", memo=False,
@@ -148,17 +121,14 @@ def run_benchmark(workload_names: list[str] | None = None,
 
     rows: dict[str, dict] = {}
     modules = []
-    for workload in workloads:
-        if workload_names and workload.name not in workload_names:
-            continue
-        module = compile_c(workload.source, workload.name)
-        optimize(module)
+    for workload, module in compile_suite(workload_names):
         modules.append((workload.name, module))
 
         forest_s, forest_report = _best_of(
             lambda: forest_det.detect(module))
         plan_s, plan_report = _best_of(lambda: plan_det.detect(module))
-        if _fingerprint(plan_report) != _fingerprint(forest_report):
+        if report_fingerprint(plan_report) != \
+                report_fingerprint(forest_report):
             raise AssertionError(
                 f"{workload.name}: forest and plan match sets diverge")
         row = {
@@ -175,13 +145,15 @@ def run_benchmark(workload_names: list[str] | None = None,
             independent_s, _ = _best_of(
                 lambda: _independent_pass(plan_det, module))
             dynamic_report = dynamic_det.detect(module)
-            if _fingerprint(dynamic_report) != _fingerprint(forest_report):
+            if report_fingerprint(dynamic_report) != \
+                    report_fingerprint(forest_report):
                 raise AssertionError(
                     f"{workload.name}: forest and dynamic match sets "
                     f"diverge")
             workers_report = DetectionSession(forest_det, workers=2) \
                 .detect(module)
-            if _fingerprint(workers_report) != _fingerprint(forest_report):
+            if report_fingerprint(workers_report) != \
+                    report_fingerprint(forest_report):
                 raise AssertionError(
                     f"{workload.name}: forest match sets depend on the "
                     f"worker count")
@@ -211,8 +183,8 @@ def run_benchmark(workload_names: list[str] | None = None,
         process_report = DetectionSession(forest_det, workers=2,
                                           mode="process").detect(module)
         serial_report = forest_det.detect(module)
-        if _fingerprint(process_report, by_identity=False) != \
-                _fingerprint(serial_report, by_identity=False):
+        if report_fingerprint(process_report, by_identity=False) != \
+                report_fingerprint(serial_report, by_identity=False):
             raise AssertionError(
                 f"{name}: process-mode forest match sets diverge")
         result["value_key"] = _value_key_bench(modules)

@@ -24,39 +24,26 @@ from __future__ import annotations
 
 import argparse
 import json
-import math
 import sys
-import time
 
 from ..runtime.runner import compile_workload, outputs_match, run_original
-from ..workloads import all_workloads
+from .suites import select_workloads
+from .timing import best_of, geomean
 
 
 def _timed_run(compiled, workload, scale: int, engine: str, repeat: int):
-    best, result = None, None
-    for _ in range(max(1, repeat)):
-        t0 = time.perf_counter()
-        result = run_original(compiled, workload.entry,
-                              workload.make_inputs(scale), engine=engine)
-        seconds = time.perf_counter() - t0
-        best = seconds if best is None else min(best, seconds)
+    best, result = best_of(
+        lambda: run_original(compiled, workload.entry,
+                             workload.make_inputs(scale), engine=engine),
+        repeat)
     return result, best
 
 
 def run_benchmark(workload_names: list[str] | None = None, scale: int = 1,
                   repeat: int = 1) -> dict:
     """Measure both engines per workload, verifying equivalence en route."""
-    workloads = all_workloads()
-    if workload_names:
-        unknown = set(workload_names) - {w.name for w in workloads}
-        if unknown:
-            raise SystemExit(
-                f"unknown workloads: {', '.join(sorted(unknown))} "
-                f"(choose from {', '.join(w.name for w in workloads)})")
     rows: dict[str, dict] = {}
-    for workload in workloads:
-        if workload_names and workload.name not in workload_names:
-            continue
+    for workload in select_workloads(workload_names):
         compiled = compile_workload(workload.name, workload.source,
                                     verify=False)
         vm_result, vm_s = _timed_run(compiled, workload, scale, "vm", repeat)
@@ -79,11 +66,9 @@ def run_benchmark(workload_names: list[str] | None = None, scale: int = 1,
         }
     result = {"workloads": rows}
     if rows:
-        speedups = [r["speedup"] for r in rows.values()]
-        geomean = math.exp(sum(math.log(s) for s in speedups)
-                           / len(speedups))
         result["suite"] = {
-            "geomean_speedup": round(geomean, 2),
+            "geomean_speedup": round(
+                geomean(r["speedup"] for r in rows.values()), 2),
             "reference_seconds": round(
                 sum(r["reference_seconds"] for r in rows.values()), 4),
             "vm_seconds": round(

@@ -26,42 +26,27 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 
-from ..frontend import compile_c
 from ..idioms import IdiomDetector
-from ..passes import optimize
-from ..workloads import all_workloads
+from .suites import compile_suite
+from .timing import timed
 
 
 def _detect(detector: IdiomDetector, module) -> tuple:
-    t0 = time.perf_counter()
-    report = detector.detect(module)
-    seconds = time.perf_counter() - t0
+    seconds, report = timed(lambda: detector.detect(module))
     return report, seconds
 
 
 def run_benchmark(workload_names: list[str] | None = None,
                   legacy: bool = True) -> dict:
     """Measure per-workload solver stats; optionally skip the legacy pass."""
-    workloads = all_workloads()
-    if workload_names:
-        unknown = set(workload_names) - {w.name for w in workloads}
-        if unknown:
-            raise SystemExit(
-                f"unknown workloads: {', '.join(sorted(unknown))} "
-                f"(choose from {', '.join(w.name for w in workloads)})")
     # This benchmark tracks the *per-idiom* plan executor (the detector's
     # default is now the cross-idiom forest; bench_detect covers it).
     plan_detector = IdiomDetector(ordering="plan")
     legacy_detector = IdiomDetector(ordering="dynamic", memo=False,
                                     indexed=False)
     rows: dict[str, dict] = {}
-    for workload in workloads:
-        if workload_names and workload.name not in workload_names:
-            continue
-        module = compile_c(workload.source, workload.name)
-        optimize(module)
+    for workload, module in compile_suite(workload_names):
         plan_report, plan_s = _detect(plan_detector, module)
         row = {
             "plan_ticks": plan_report.stats.ticks,

@@ -9,6 +9,7 @@ share one detection+execution pass.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import dataclass, field
 
@@ -103,6 +104,11 @@ SCALE = 1
 BACKENDS: list[str] | None = None
 PLACEMENT = "beam"
 
+#: Artifact-cache directory (``--cache-dir`` / ``--no-cache``; the
+#: ``REPRO_CACHE_DIR`` environment variable supplies the default). None
+#: disables the persistent cache; reports are bit-identical either way.
+CACHE_DIR: str | None = None
+
 
 def evaluate_workload(workload: Workload, scale: int | None = None,
                       execute: bool = True,
@@ -116,7 +122,8 @@ def evaluate_workload(workload: Workload, scale: int | None = None,
     # wall clock is not — keep the pool config in the cache key.
     backends_key = "*" if BACKENDS is None else ",".join(sorted(BACKENDS))
     key = f"{workload.name}@{scale}:{execute}:{effective_workers}:" \
-          f"{DETECT_MODE}:{DETECT_ORDERING}:{engine}:{backends_key}"
+          f"{DETECT_MODE}:{DETECT_ORDERING}:{engine}:{backends_key}:" \
+          f"{CACHE_DIR}"
     if key in _CACHE:
         return _CACHE[key]
     compiled = compile_workload(
@@ -124,7 +131,8 @@ def evaluate_workload(workload: Workload, scale: int | None = None,
         workers=effective_workers,
         detect_mode=DETECT_MODE,
         ordering=DETECT_ORDERING,
-        verify=False)
+        verify=False,
+        cache_dir=CACHE_DIR)
     ev = WorkloadEvaluation(workload, compiled,
                             compile_base_s=compiled.compile_seconds,
                             compile_idl_s=compiled.detect_seconds)
@@ -528,7 +536,7 @@ _EXPERIMENTS = {
 
 def main(argv: list[str] | None = None) -> int:
     global DETECT_WORKERS, DETECT_MODE, DETECT_ORDERING, ENGINE, SCALE, \
-        BACKENDS, PLACEMENT
+        BACKENDS, PLACEMENT, CACHE_DIR
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -566,6 +574,15 @@ def main(argv: list[str] | None = None) -> int:
                         default=PLACEMENT,
                         help="offload planner strategy for the 'placement' "
                              f"experiment (default {PLACEMENT})")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent detection artifact cache "
+                             "directory (default: $REPRO_CACHE_DIR if "
+                             "set, else disabled); warm runs serve "
+                             "unchanged functions from disk with "
+                             "bit-identical reports")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the artifact cache even if "
+                             "$REPRO_CACHE_DIR is set")
     args = parser.parse_args(argv)
     if args.list:
         print_catalog()
@@ -585,6 +602,11 @@ def main(argv: list[str] | None = None) -> int:
     SCALE = args.scale
     BACKENDS = args.backends
     PLACEMENT = args.placement
+    if args.no_cache:
+        CACHE_DIR = None
+    else:
+        CACHE_DIR = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") \
+            or None
     if args.experiment == "all":
         for fn in _EXPERIMENTS.values():
             fn()

@@ -39,6 +39,17 @@ class IdiomDetector:
     retains the per-idiom static-plan executor and ``"dynamic"`` (with
     ``memo=False``/``indexed=False``) the seed's per-step behaviour, both
     for benchmarking; all three produce bit-identical match sets.
+
+    ``cache`` (a directory path or an :class:`~repro.cache.ArtifactStore`)
+    enables the content-addressed artifact cache: module-level detection
+    (:meth:`detect`, via :class:`~repro.idioms.scheduler.DetectionSession`)
+    then serves unchanged functions from disk and solves only the rest.
+    Cached entries are keyed on :meth:`config_signature` plus each
+    function's canonical IR text, so any change to the idiom library, the
+    solve configuration or the IR re-solves exactly the affected
+    functions. The per-function entry points (:meth:`detect_function*`)
+    never consult the cache — they are the solving primitive the
+    scheduler falls back to on a miss.
     """
 
     def __init__(self, compiler: IdiomCompiler | None = None,
@@ -47,7 +58,8 @@ class IdiomDetector:
                  max_solutions: int | None = None,
                  ordering: str = "forest",
                  memo: bool = True,
-                 indexed: bool = True):
+                 indexed: bool = True,
+                 cache=None):
         if ordering not in ("forest", "plan", "dynamic"):
             raise IDLError(f"unknown ordering {ordering!r}")
         #: Process-mode workers rebuild the detector from configuration
@@ -64,6 +76,58 @@ class IdiomDetector:
         self.ordering = ordering
         self.memo = memo
         self.indexed = indexed
+        self._cache_store = self._bind_store(cache)
+        self._cache = None
+
+    def _bind_store(self, cache):
+        if cache is None:
+            return None
+        import os
+
+        from ..cache import ArtifactStore
+
+        if isinstance(cache, (str, os.PathLike)):
+            cache = ArtifactStore(os.fspath(cache))
+        if not isinstance(cache, ArtifactStore):
+            raise IDLError(
+                f"cache must be a directory path or an ArtifactStore, "
+                f"got {type(cache).__name__}")
+        # The cache is bound to *this* detector's live configuration
+        # (see the `cache` property); handing it a pre-built
+        # DetectionCache could pair entries with the wrong signature, so
+        # only the raw store is accepted.
+        return cache
+
+    @property
+    def cache(self):
+        """The store facade bound to the *current* config signature.
+
+        Rebound lazily: loading more IDL into the compiler after
+        construction changes the library signature, and a signature
+        frozen at construction would keep serving entries keyed for the
+        old library — stale match sets. Recomputing on access keeps the
+        content-address contract airtight."""
+        if self._cache_store is None:
+            return None
+        from ..cache import DetectionCache
+
+        signature = self.config_signature()
+        if self._cache is None or \
+                self._cache.config_signature != signature:
+            self._cache = DetectionCache(self._cache_store, signature)
+        return self._cache
+
+    def config_signature(self) -> str:
+        """Digest of every non-IR input that can change this detector's
+        match sets — the configuration half of the artifact cache's
+        content addresses (the other half is per-function canonical IR)."""
+        from ..cache.fingerprint import detection_config_signature
+        from ..passes.pipeline import pipeline_signature
+
+        return detection_config_signature(
+            self.compiler.library_signature(), tuple(self.idioms),
+            self.limits.max_solutions, self.limits.max_steps,
+            self.ordering, self.memo, self.indexed, pipeline_signature())
 
     @property
     def max_solutions(self) -> int:
@@ -223,6 +287,8 @@ def _resolve_overlaps(matches: list[IdiomMatch]) -> list[IdiomMatch]:
 
 
 def detect_idioms(module: Module, workers: int = 1,
-                  mode: str = "thread") -> DetectionReport:
+                  mode: str = "thread",
+                  cache_dir: str | None = None) -> DetectionReport:
     """One-shot convenience: build a detector and run it."""
-    return IdiomDetector().detect(module, workers=workers, mode=mode)
+    return IdiomDetector(cache=cache_dir).detect(module, workers=workers,
+                                                 mode=mode)

@@ -158,3 +158,27 @@ class DetectionReport:
 
     def of_idiom(self, name: str) -> list[IdiomMatch]:
         return [m for m in self.matches if m.idiom == name]
+
+
+def report_fingerprint(report: DetectionReport,
+                       by_identity: bool = True) -> list[tuple]:
+    """A comparable digest of a report's match set — matches in order,
+    solutions as sorted (variable, value-key) tuples.
+
+    This is THE bit-identity check used by the benchmarks, the CI gates
+    and the tests: two reports fingerprint equal iff they contain the
+    same matches, in the same order, with the same bindings.
+    ``by_identity=True`` keys values by object identity (exact for
+    reports over one IR instance); ``by_identity=False`` uses the
+    solver's structural :func:`~repro.idl.atoms.value_key`, which also
+    equates constants decoded from the process-mode / artifact-cache wire
+    format with their originals.
+    """
+    from ..idl.atoms import value_key
+
+    def vkey(value):
+        return id(value) if by_identity else value_key(value)
+
+    return [(m.idiom, m.function.name,
+             tuple((k, vkey(v)) for k, v in sorted(m.solution.items())))
+            for m in report.matches]

@@ -19,6 +19,15 @@ Two pool flavours:
   against the caller's module — so even process-mode matches point at the
   caller's IR objects. Only the standard idiom library is supported there,
   because workers rebuild the detector from configuration alone.
+
+When the detector carries an artifact cache (:mod:`repro.cache`), the
+session consults it *before* scheduling: every function whose fingerprint
+has a stored entry is served from disk (matches decoded against the
+caller's IR, solve stats restored), and only the remaining functions are
+batched out to workers — whatever the pool flavour. Freshly solved
+functions are written back, and hits and fresh solves are merged in module
+order, so the report is bit-identical to a cold run's: same matches, same
+order, same aggregated stats.
 """
 
 from __future__ import annotations
@@ -61,8 +70,18 @@ class DetectionSession:
         self.batch_size = batch_size
         #: FunctionAnalyses per function name, reset and refilled by each
         #: detect() call (thread/serial modes; process workers keep theirs)
-        #: for reuse by later pipeline stages.
+        #: for reuse by later pipeline stages. Cache-served functions have
+        #: no entry — nothing was analysed for them.
         self.analyses: dict[str, FunctionAnalyses] = {}
+        #: Artifact-cache accounting for the most recent detect() call:
+        #: functions served from the store vs actually solved (always 0 /
+        #: all-functions without a cache).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._globals_sig: str | None = None
+        #: Canonical text per function name, printed once per detect()
+        #: call and shared by every fingerprint derived from it.
+        self._canonical: dict[str, str] = {}
 
     # -- public API ---------------------------------------------------------------
     def detect(self, module: Module) -> DetectionReport:
@@ -70,36 +89,95 @@ class DetectionSession:
                      if not f.is_declaration()]
         report = DetectionReport(module.name)
         self.analyses = {}
+        self.cache_hits = self.cache_misses = 0
+        self._globals_sig = None
         if not functions:
             return report
-        # Lower and plan every idiom up front, whatever the ordering:
-        # workers must only read the compiler caches (the shared Lowerer's
-        # memo machinery, like the forest builder, is not safe to run
-        # concurrently).
-        self.detector.compiler.prepare(
-            self.detector.idioms, memo=self.detector.memo,
-            forest=self.detector.ordering == "forest")
-        if self.workers <= 1:
-            results = [self._detect_batch(functions)]
-        elif self.mode == "thread":
-            results = self._run_threads(functions)
+        cache = self.detector.cache
+        warm: dict[str, object] = {}
+        self._canonical = {}
+        if cache is not None:
+            from ..cache.fingerprint import globals_signature
+            from ..ir.printer import print_function_canonical
+
+            self._globals_sig = globals_signature(module)
+            for function in functions:
+                text = print_function_canonical(function)
+                self._canonical[function.name] = text
+                entry = cache.load(function, module, self._globals_sig,
+                                   text)
+                if entry is not None:
+                    warm[function.name] = entry
+            cold = [f for f in functions if f.name not in warm]
+            self.cache_hits = len(warm)
         else:
-            results = self._run_processes(module, functions)
-        for batch in results:
-            for _, matches, stats in batch:
-                report.matches.extend(matches)
-                report.stats.merge(stats)
+            cold = functions
+        self.cache_misses = len(cold)
+        solved: dict[str, tuple] = {}
+        if cold:
+            # Lower and plan every idiom up front, whatever the ordering:
+            # workers must only read the compiler caches (the shared
+            # Lowerer's memo machinery, like the forest builder, is not
+            # safe to run concurrently).
+            self.detector.compiler.prepare(
+                self.detector.idioms, memo=self.detector.memo,
+                forest=self.detector.ordering == "forest")
+            if self.workers <= 1:
+                results = [self._detect_batch(cold)]
+            elif self.mode == "thread":
+                results = self._run_threads(cold)
+            else:
+                results = self._run_processes(module, cold)
+            for batch in results:
+                for fname, matches, stats, summary in batch:
+                    solved[fname] = (matches, stats, summary)
+            if cache is not None:
+                # Process workers cannot consult the store, so they
+                # always return a summary; rewriting one that already
+                # exists is harmless (content-addressed puts of one key
+                # write identical bytes). The serial/thread path returns
+                # None for adopted summaries to skip the *recompute*.
+                for function in cold:
+                    matches, stats, summary = solved[function.name]
+                    cache.save(function, matches, stats, summary,
+                               self._globals_sig,
+                               text=self._canonical.get(function.name))
+        # Deterministic merge in module order, hits and fresh solves
+        # interleaved — bit-identical to the all-cold report.
+        for function in functions:
+            entry = warm.get(function.name)
+            if entry is not None:
+                matches, stats = entry.matches, entry.stats
+            else:
+                matches, stats, _ = solved[function.name]
+            report.matches.extend(matches)
+            report.stats.merge(stats)
         return report
 
     # -- serial / thread execution ---------------------------------------------
     def _detect_batch(self, functions: list[Function]) -> list[tuple]:
+        cache = self.detector.cache
         out = []
         for function in functions:
             analyses = FunctionAnalyses(function)
+            adopted = False
+            if cache is not None:
+                # Body-keyed summaries survive config changes: a re-solve
+                # under new limits / idiom sets still skips re-deriving
+                # the feasibility-signature inputs.
+                summary = cache.load_summary(
+                    function, self._canonical.get(function.name))
+                if summary is not None:
+                    analyses.adopt_summary(summary)
+                    adopted = True
             self.analyses[function.name] = analyses
             matches, stats = self.detector.detect_function_with_stats(
                 function, analyses)
-            out.append((function.name, matches, stats))
+            # An adopted summary is already in the store — returning None
+            # keeps save() from recomputing (loop info) and rewriting it.
+            out.append((function.name, matches, stats,
+                        None if adopted or cache is None
+                        else analyses.summary()))
         return out
 
     def _batches(self, functions: list[Function]) -> list[list[Function]]:
@@ -136,14 +214,14 @@ class DetectionSession:
         results = []
         for encoded in encoded_batches:
             batch = []
-            for fname, enc_matches, stats in encoded:
+            for fname, enc_matches, stats, summary in encoded:
                 function = module.functions[fname]
                 matches = [
                     IdiomMatch(idiom, function,
                                decode_solution(enc_sol, function, module),
                                stats=match_stats)
                     for idiom, enc_sol, match_stats in enc_matches]
-                batch.append((fname, matches, stats))
+                batch.append((fname, matches, stats, summary))
             results.append(batch)
         return results
 
@@ -228,7 +306,12 @@ def _worker_module(ir_text: str) -> Module:
 
 
 def _process_batch(payload: tuple) -> list[tuple]:
-    """Detect one batch of functions inside a worker process."""
+    """Detect one batch of functions inside a worker process.
+
+    The worker also digests each function's analyses into a serializable
+    summary — the caller cannot (it never built analyses for functions it
+    shipped out), and the artifact cache persists the summary alongside
+    the matches."""
     ir_text, fnames, config = payload
     detector = _worker_detector(config)
     module = _worker_module(ir_text)
@@ -244,5 +327,6 @@ def _process_batch(payload: tuple) -> list[tuple]:
         enc_matches = [
             (m.idiom, encode_solution(m.solution, function), m.stats)
             for m in matches]
-        out.append((fname, enc_matches, stats))
+        out.append((fname, enc_matches, stats,
+                    analyses.summary().as_dict()))
     return out

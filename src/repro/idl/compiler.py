@@ -28,6 +28,8 @@ same match sets, bit for bit.
 
 from __future__ import annotations
 
+import hashlib
+
 from ..analysis.info import FunctionAnalyses
 from ..errors import IDLError
 from ..ir.module import Function, Module
@@ -55,6 +57,8 @@ class IdiomCompiler:
         self._plan_cache: dict[tuple, Plan] = {}
         self._forest_cache: dict[tuple, PlanForest] = {}
         self._lowerers: dict[bool, Lowerer] = {}
+        self._sources: list[str] = []
+        self._signature: str | None = None
         if load_natives:
             for native in standard_natives():
                 self.registry.add_native(native)
@@ -65,6 +69,8 @@ class IdiomCompiler:
         specs = parse_idl(source, filename)
         for spec in specs:
             self.registry.add_spec(spec)
+        self._sources.append(source)
+        self._signature = None
         self._lowered_cache.clear()
         self._plan_cache.clear()
         self._forest_cache.clear()
@@ -73,6 +79,26 @@ class IdiomCompiler:
 
     def names(self) -> list[str]:
         return self.registry.names()
+
+    def library_signature(self) -> str:
+        """Digest of everything this compiler contributes to match sets:
+        every loaded IDL source (in load order), the registered
+        constraint names (native constraints included) and the memoized
+        building-block set. This is the idiom-library input of the
+        artifact cache's fingerprints (:mod:`repro.cache.fingerprint`).
+        Native *implementations* are python code and not hashable here —
+        changing one requires bumping
+        :data:`repro.cache.fingerprint.FINGERPRINT_VERSION`."""
+        if self._signature is None:
+            h = hashlib.sha256()
+            h.update(",".join(sorted(self.registry.names())).encode())
+            h.update(b"\x00")
+            h.update(",".join(sorted(self.memo_specs)).encode())
+            for source in self._sources:
+                h.update(b"\x00")
+                h.update(source.encode())
+            self._signature = h.hexdigest()
+        return self._signature
 
     # -- compilation -----------------------------------------------------------------
     def _lowerer(self, memo: bool) -> Lowerer:

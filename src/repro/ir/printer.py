@@ -3,6 +3,23 @@
 The format is deliberately close to LLVM assembly so examples from the
 paper (e.g. Figure 3/4) read naturally, but simplified where LLVM carries
 historical baggage (GEPs name only the pointer operand's type).
+
+Determinism contract: the printed form is a pure function of IR structure.
+Every construct is emitted from ordered containers — argument/block/
+instruction/operand lists, phi arms in build order, ``module.globals`` and
+``module.functions`` in insertion order — never from set or dict-key
+iteration over identity-hashed objects, and never from ``id()``. Two
+structurally identical modules therefore print byte-identically, across
+processes and ``PYTHONHASHSEED`` values (regression-tested in
+``tests/test_cache.py``); the content-addressed artifact cache
+(:mod:`repro.cache`) relies on this.
+
+Every printing function accepts an optional ``names`` override mapping
+``id(value) -> name``. :func:`print_function_canonical` uses it to emit a
+*canonical* form — arguments, blocks and instruction results renamed to
+dense position-derived names — so the text (and any hash of it) depends
+only on function structure, not on whatever local names the front end or
+the passes happened to pick.
 """
 
 from __future__ import annotations
@@ -28,78 +45,131 @@ from .module import BasicBlock, Function, Module
 from .values import Value
 
 
-def _operand(value: Value) -> str:
+def _operand(value: Value, names: dict[int, str] | None = None) -> str:
+    if names is not None:
+        renamed = names.get(id(value))
+        if renamed is not None:
+            return f"%{renamed}"
     return value.ref()
 
 
-def _typed(value: Value) -> str:
-    return f"{value.type} {value.ref()}"
+def _typed(value: Value, names: dict[int, str] | None = None) -> str:
+    return f"{value.type} {_operand(value, names)}"
 
 
-def print_instruction(inst: Instruction) -> str:
+def _label(block: BasicBlock, names: dict[int, str] | None = None) -> str:
+    if names is not None:
+        renamed = names.get(id(block))
+        if renamed is not None:
+            return renamed
+    return block.name
+
+
+def print_instruction(inst: Instruction,
+                      names: dict[int, str] | None = None) -> str:
     """Render one instruction (no leading indentation)."""
+    ref = _operand(inst, names)
     if isinstance(inst, BinaryOperator):
-        return (f"{inst.ref()} = {inst.opcode} {inst.type} "
-                f"{_operand(inst.lhs)}, {_operand(inst.rhs)}")
+        return (f"{ref} = {inst.opcode} {inst.type} "
+                f"{_operand(inst.lhs, names)}, {_operand(inst.rhs, names)}")
     if isinstance(inst, ICmpInst):
-        return (f"{inst.ref()} = icmp {inst.predicate} {inst.lhs.type} "
-                f"{_operand(inst.lhs)}, {_operand(inst.rhs)}")
+        return (f"{ref} = icmp {inst.predicate} {inst.lhs.type} "
+                f"{_operand(inst.lhs, names)}, {_operand(inst.rhs, names)}")
     if isinstance(inst, FCmpInst):
-        return (f"{inst.ref()} = fcmp {inst.predicate} {inst.lhs.type} "
-                f"{_operand(inst.lhs)}, {_operand(inst.rhs)}")
+        return (f"{ref} = fcmp {inst.predicate} {inst.lhs.type} "
+                f"{_operand(inst.lhs, names)}, {_operand(inst.rhs, names)}")
     if isinstance(inst, AllocaInst):
-        return f"{inst.ref()} = alloca {inst.allocated_type}"
+        return f"{ref} = alloca {inst.allocated_type}"
     if isinstance(inst, LoadInst):
-        return (f"{inst.ref()} = load {inst.type}, "
-                f"{_typed(inst.pointer)}")
+        return (f"{ref} = load {inst.type}, "
+                f"{_typed(inst.pointer, names)}")
     if isinstance(inst, StoreInst):
-        return f"store {_typed(inst.value)}, {_typed(inst.pointer)}"
+        return (f"store {_typed(inst.value, names)}, "
+                f"{_typed(inst.pointer, names)}")
     if isinstance(inst, GEPInst):
-        indices = ", ".join(_typed(i) for i in inst.indices)
-        return f"{inst.ref()} = gep {_typed(inst.pointer)}, {indices}"
+        indices = ", ".join(_typed(i, names) for i in inst.indices)
+        return f"{ref} = gep {_typed(inst.pointer, names)}, {indices}"
     if isinstance(inst, BranchInst):
         if inst.is_conditional():
             then_b, else_b = inst.targets()
-            return (f"br i1 {_operand(inst.condition)}, "
-                    f"label %{then_b.name}, label %{else_b.name}")
-        return f"br label %{inst.targets()[0].name}"
+            return (f"br i1 {_operand(inst.condition, names)}, "
+                    f"label %{_label(then_b, names)}, "
+                    f"label %{_label(else_b, names)}")
+        return f"br label %{_label(inst.targets()[0], names)}"
     if isinstance(inst, RetInst):
         if inst.value is None:
             return "ret void"
-        return f"ret {_typed(inst.value)}"
+        return f"ret {_typed(inst.value, names)}"
     if isinstance(inst, UnreachableInst):
         return "unreachable"
     if isinstance(inst, PhiInst):
-        arms = ", ".join(f"[ {_operand(v)}, %{b.name} ]"
+        arms = ", ".join(f"[ {_operand(v, names)}, %{_label(b, names)} ]"
                          for v, b in inst.incoming)
-        return f"{inst.ref()} = phi {inst.type} {arms}"
+        return f"{ref} = phi {inst.type} {arms}"
     if isinstance(inst, SelectInst):
-        return (f"{inst.ref()} = select i1 {_operand(inst.condition)}, "
-                f"{_typed(inst.true_value)}, {_typed(inst.false_value)}")
+        return (f"{ref} = select i1 {_operand(inst.condition, names)}, "
+                f"{_typed(inst.true_value, names)}, "
+                f"{_typed(inst.false_value, names)}")
     if isinstance(inst, CastInst):
-        return (f"{inst.ref()} = {inst.opcode} {_typed(inst.value)} "
+        return (f"{ref} = {inst.opcode} {_typed(inst.value, names)} "
                 f"to {inst.type}")
     if isinstance(inst, CallInst):
-        args = ", ".join(_typed(a) for a in inst.args)
-        prefix = f"{inst.ref()} = " if not inst.type.is_void() else ""
+        args = ", ".join(_typed(a, names) for a in inst.args)
+        prefix = f"{ref} = " if not inst.type.is_void() else ""
         return f"{prefix}call {inst.type} @{inst.callee}({args})"
     raise NotImplementedError(f"cannot print {inst.opcode}")
 
 
-def print_block(block: BasicBlock) -> str:
-    lines = [f"{block.name}:"]
+def print_block(block: BasicBlock,
+                names: dict[int, str] | None = None) -> str:
+    lines = [f"{_label(block, names)}:"]
     for inst in block.instructions:
-        lines.append(f"  {print_instruction(inst)}")
+        lines.append(f"  {print_instruction(inst, names)}")
     return "\n".join(lines)
 
 
-def print_function(function: Function) -> str:
-    params = ", ".join(f"{a.type} %{a.name}" for a in function.args)
+def print_function(function: Function,
+                   names: dict[int, str] | None = None) -> str:
+    params = ", ".join(f"{a.type} %{_operand(a, names)[1:]}"
+                       for a in function.args)
     header = f"define {function.return_type} @{function.name}({params})"
     if function.is_declaration():
         return f"declare {function.return_type} @{function.name}({params})"
-    body = "\n".join(print_block(b) for b in function.blocks)
+    body = "\n".join(print_block(b, names) for b in function.blocks)
     return f"{header} {{\n{body}\n}}"
+
+
+def canonical_names(function: Function) -> dict[int, str]:
+    """Position-derived names for every local value of ``function``.
+
+    Arguments become ``a0..``, blocks ``b0..`` (layout order) and
+    instruction results ``v0..`` (program order). Constants and globals are
+    not renamed — their printed form is already structural. The mapping is
+    keyed by ``id()`` purely as an object-identity lookup for the printer;
+    no ordering is ever derived from the ids.
+    """
+    names: dict[int, str] = {}
+    for i, arg in enumerate(function.args):
+        names[id(arg)] = f"a{i}"
+    for bi, block in enumerate(function.blocks):
+        names[id(block)] = f"b{bi}"
+    counter = 0
+    for block in function.blocks:
+        for inst in block.instructions:
+            if not inst.type.is_void():
+                names[id(inst)] = f"v{counter}"
+                counter += 1
+    return names
+
+
+def print_function_canonical(function: Function) -> str:
+    """The canonical textual form: local names replaced by dense
+    position-derived ones, so the text is a pure function of structure.
+    This is the form the content-addressed cache hashes
+    (:func:`repro.cache.fingerprint.function_fingerprint`); structurally
+    identical functions produce byte-identical canonical text whatever
+    their build history named things."""
+    return print_function(function, canonical_names(function))
 
 
 def print_module(module: Module) -> str:

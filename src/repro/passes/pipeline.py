@@ -35,11 +35,29 @@ _PIPELINE = (
 )
 
 
+#: One-shot passes run before the fixed-point loop, shared with
+#: :func:`pipeline_signature` so the cache key can never drift from what
+#: :func:`optimize_function` actually runs.
+_PROLOGUE = (
+    remove_unreachable_blocks,
+    promote_allocas,
+)
+
+
+def pipeline_signature() -> str:
+    """The pass pipeline as a cache-key input: every pass that shapes the
+    IR before detection, in execution order. Detection artifacts are keyed
+    on this (see :mod:`repro.cache.fingerprint`) so a pipeline change can
+    never serve match reports computed for differently canonicalised
+    code."""
+    return "|".join(p.__name__ for p in _PROLOGUE + _PIPELINE)
+
+
 def optimize_function(function: Function, verify: bool = True) -> None:
     if function.is_declaration():
         return
-    remove_unreachable_blocks(function)
-    promote_allocas(function)
+    for pass_fn in _PROLOGUE:
+        pass_fn(function)
     # Worklist-style fixed point: a pass is re-run only while "dirty" —
     # i.e. some pass has changed the IR since its last run. A clean pass
     # is deterministic over unchanged IR, so skipping it elides a provable

@@ -84,7 +84,8 @@ class ExecutionResult:
 def compile_workload(name: str, source: str, workers: int = 1,
                      detect_mode: str = "thread",
                      ordering: str = "forest",
-                     verify: bool = True) -> CompiledWorkload:
+                     verify: bool = True,
+                     cache_dir: str | None = None) -> CompiledWorkload:
     """Compile and detect, recording wall-clock for Table 2.
 
     ``workers``/``detect_mode`` configure the detection session's worker
@@ -92,7 +93,9 @@ def compile_workload(name: str, source: str, workers: int = 1,
     forest by default); the report is identical regardless
     (deterministic merge, bit-identical match sets). ``verify=False``
     skips post-convergence IR verification — the experiment harness's
-    hot path; tests keep it on.
+    hot path; tests keep it on. ``cache_dir`` enables the persistent
+    artifact cache (:mod:`repro.cache`): unchanged functions are served
+    from disk with the report still bit-identical to a cold run.
     """
     import time
 
@@ -100,8 +103,8 @@ def compile_workload(name: str, source: str, workers: int = 1,
     module = compile_c(source, name)
     optimize(module, verify=verify)
     t1 = time.perf_counter()
-    report = IdiomDetector(ordering=ordering).detect(module, workers=workers,
-                                                     mode=detect_mode)
+    report = IdiomDetector(ordering=ordering, cache=cache_dir) \
+        .detect(module, workers=workers, mode=detect_mode)
     t2 = time.perf_counter()
     return CompiledWorkload(name, module, report,
                             compile_seconds=t1 - t0,

@@ -84,13 +84,8 @@ def solution_keys(solutions):
             for sol in solutions}
 
 
-def report_fingerprint(report, by_identity=True):
-    def vkey(v):
-        return id(v) if by_identity else value_key(v)
-
-    return [(m.idiom, m.function.name,
-             tuple((k, vkey(v)) for k, v in sorted(m.solution.items())))
-            for m in report.matches]
+# The shared bit-identity digest (re-exported for test_forest's import).
+from repro.idioms import report_fingerprint  # noqa: E402
 
 
 @pytest.fixture(scope="module")
