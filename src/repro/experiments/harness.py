@@ -32,6 +32,7 @@ from ..platform.placement import (
 )
 from ..runtime.runner import (
     DEFAULT_ENGINE,
+    ENGINE_DESCRIPTIONS,
     ENGINES,
     CompiledWorkload,
     compile_workload,
@@ -92,11 +93,24 @@ DETECT_MODE = "thread"
 #: per-step ordering) produce bit-identical reports, more slowly.
 DETECT_ORDERING = "forest"
 
-#: Execution defaults, settable from the CLI (``--engine`` / ``--scale``).
-#: Engines are output- and profile-identical, so results only depend on the
-#: scale; both stay in the cache key because wall-clock measurements differ.
-ENGINE = DEFAULT_ENGINE
+#: Execution defaults, settable from the CLI (``--engine`` / ``--scale``;
+#: the ``REPRO_ENGINE`` environment variable supplies the ``--engine``
+#: default). Engines are output- and profile-identical, so results only
+#: depend on the scale; both stay in the cache key because wall-clock
+#: measurements differ. ``JIT_THRESHOLD`` (``--jit-threshold``) is the
+#: call count at which the jit tier specializes a function; other tiers
+#: ignore it.
+def default_engine() -> str:
+    """``$REPRO_ENGINE`` if set and valid, else :data:`DEFAULT_ENGINE`."""
+    env = os.environ.get("REPRO_ENGINE")
+    if env and env in ENGINES:
+        return env
+    return DEFAULT_ENGINE
+
+
+ENGINE = default_engine()
 SCALE = 1
+JIT_THRESHOLD: int | None = None
 
 #: Offload configuration, settable from the CLI (``--backends`` /
 #: ``--placement``): which registry backends may lower and run matches,
@@ -122,8 +136,8 @@ def evaluate_workload(workload: Workload, scale: int | None = None,
     # wall clock is not — keep the pool config in the cache key.
     backends_key = "*" if BACKENDS is None else ",".join(sorted(BACKENDS))
     key = f"{workload.name}@{scale}:{execute}:{effective_workers}:" \
-          f"{DETECT_MODE}:{DETECT_ORDERING}:{engine}:{backends_key}:" \
-          f"{CACHE_DIR}"
+          f"{DETECT_MODE}:{DETECT_ORDERING}:{engine}:{JIT_THRESHOLD}:" \
+          f"{backends_key}:{CACHE_DIR}"
     if key in _CACHE:
         return _CACHE[key]
     compiled = compile_workload(
@@ -139,7 +153,7 @@ def evaluate_workload(workload: Workload, scale: int | None = None,
     if execute:
         inputs = workload.make_inputs(scale)
         original = run_original(compiled, workload.entry, inputs,
-                                engine=engine)
+                                engine=engine, jit_threshold=JIT_THRESHOLD)
         ev.coverage = original.coverage
         ev.sequential_seconds = original.sequential_seconds
         if workload.dominant:
@@ -148,7 +162,8 @@ def evaluate_workload(workload: Workload, scale: int | None = None,
             # compiled module in place — no second compile+detect pass.
             accelerated = run_accelerated(compiled, workload.entry,
                                           workload.make_inputs(scale),
-                                          engine=engine, backends=BACKENDS)
+                                          engine=engine, backends=BACKENDS,
+                                          jit_threshold=JIT_THRESHOLD)
             ev.outputs_equal = outputs_match(original, accelerated)
             runtime = accelerated.api_runtime
             if runtime is not None:
@@ -504,10 +519,11 @@ def print_catalog() -> None:
                            if n) or "-"
         flag = " [dominant]" if w.dominant else ""
         print(f"  {w.name:8s} {w.suite:8s} {census}{flag}")
-    print("\nExecution engines (--engine):")
+    print("\nExecution tiers (--engine; $REPRO_ENGINE sets the default):")
     for name in sorted(ENGINES):
-        default = " (default)" if name == DEFAULT_ENGINE else ""
-        print(f"  {name}{default}")
+        default = " (default)" if name == default_engine() else ""
+        description = ENGINE_DESCRIPTIONS.get(name, "")
+        print(f"  {name:10s}{description}{default}")
     print("\nBackends (--backends):")
     for entry in default_registry().entries():
         apis = ", ".join(d.name for d in entry.descriptors)
@@ -536,7 +552,7 @@ _EXPERIMENTS = {
 
 def main(argv: list[str] | None = None) -> int:
     global DETECT_WORKERS, DETECT_MODE, DETECT_ORDERING, ENGINE, SCALE, \
-        BACKENDS, PLACEMENT, CACHE_DIR
+        JIT_THRESHOLD, BACKENDS, PLACEMENT, CACHE_DIR
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -559,9 +575,17 @@ def main(argv: list[str] | None = None) -> int:
                              "static plans, or the seed's dynamic ordering "
                              "— reports are bit-identical")
     parser.add_argument("--engine", choices=sorted(ENGINES),
-                        default=DEFAULT_ENGINE,
-                        help=f"execution engine (default {DEFAULT_ENGINE}; "
-                             "'reference' is the tree-walking interpreter)")
+                        default=default_engine(),
+                        help="execution tier (default "
+                             f"{default_engine()}, override with "
+                             "$REPRO_ENGINE; 'reference' is the "
+                             "tree-walking interpreter, 'jit' adds "
+                             "profile-guided specialization on the vm)")
+    parser.add_argument("--jit-threshold", type=int, default=None,
+                        metavar="N",
+                        help="calls before the jit tier specializes a "
+                             "function (default 1: compile on first "
+                             "entry; ignored by other engines)")
     parser.add_argument("--scale", type=int, default=1,
                         help="problem-size multiplier for workload inputs "
                              "(default 1; larger-than-paper sizes need the "
@@ -600,6 +624,7 @@ def main(argv: list[str] | None = None) -> int:
     DETECT_ORDERING = args.ordering
     ENGINE = args.engine
     SCALE = args.scale
+    JIT_THRESHOLD = args.jit_threshold
     BACKENDS = args.backends
     PLACEMENT = args.placement
     if args.no_cache:

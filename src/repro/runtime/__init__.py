@@ -1,15 +1,21 @@
 """Execution substrate: memory model, execution engines, benchmark runner.
 
-Two engines share one semantic contract (identical outputs and
-count-identical profiles): the reference tree-walking ``Interpreter`` and
-the bytecode-compiling ``VirtualMachine`` (the default).
+Three execution tiers share one semantic contract (identical outputs and
+count-identical profiles): the reference tree-walking ``Interpreter``, the
+bytecode-compiling ``VirtualMachine`` (the default), and the
+profile-guided ``JitVirtualMachine`` that specializes hot functions to
+compiled Python with numpy-batched affine loops.
 """
 
 from .bytecode import BytecodeFunction, compile_function
 from .interpreter import Interpreter, Profile
+from .jit import JitVirtualMachine
 from .memory import Buffer, Pointer, dtype_of, scalar_count, scalar_type_of
+from .profile import GLOBAL_CODE_CACHE, CodeCache, HotnessTracker, \
+    jit_fingerprint
 from .runner import (
     DEFAULT_ENGINE,
+    ENGINE_DESCRIPTIONS,
     ENGINES,
     CompiledWorkload,
     ExecutionResult,
@@ -24,9 +30,10 @@ from .runner import (
 from .vm import VirtualMachine
 
 __all__ = [
-    "Interpreter", "Profile", "VirtualMachine",
+    "Interpreter", "Profile", "VirtualMachine", "JitVirtualMachine",
     "BytecodeFunction", "compile_function",
-    "ENGINES", "DEFAULT_ENGINE", "new_engine",
+    "CodeCache", "HotnessTracker", "jit_fingerprint", "GLOBAL_CODE_CACHE",
+    "ENGINES", "ENGINE_DESCRIPTIONS", "DEFAULT_ENGINE", "new_engine",
     "Buffer", "Pointer", "dtype_of", "scalar_count", "scalar_type_of",
     "CompiledWorkload", "ExecutionResult", "compile_workload",
     "outputs_identical", "outputs_match",

@@ -192,13 +192,17 @@ def _cast_fn(inst: CastInst):
 class BytecodeFunction:
     """One function lowered to flat register bytecode."""
 
-    __slots__ = ("name", "code", "blocks", "n_regs", "n_allocas",
-                 "arg_slots", "literal_consts", "global_consts")
+    __slots__ = ("name", "code", "blocks", "block_starts", "n_regs",
+                 "n_allocas", "arg_slots", "literal_consts", "global_consts",
+                 "value_slots")
 
     def __init__(self, name: str):
         self.name = name
         self.code: list[tuple] = []
         self.blocks: list[BasicBlock] = []
+        #: pc of each block's first instruction, indexed like ``blocks``;
+        #: lets the JIT walk code block-by-block and re-enter at a header.
+        self.block_starts: list[int] = []
         self.n_regs = 0
         self.n_allocas = 0
         self.arg_slots: list[int] = []
@@ -206,6 +210,9 @@ class BytecodeFunction:
         self.literal_consts: list[tuple[int, object]] = []
         #: [(slot, global name)] — resolved to Pointers per VM instance.
         self.global_consts: list[tuple[int, str]] = []
+        #: id(IR value) -> register slot, for consumers (the JIT's affine
+        #: loop analysis) that reason on the typed IR but emit slot names.
+        self.value_slots: dict[int, int] = {}
 
 
 def sequence_moves(pairs: list[tuple[int, int]], get_temp) -> tuple:
@@ -398,6 +405,8 @@ class _FunctionCompiler:
                                        block_index),
                             self._edge(else_b, source, block_pcs,
                                        block_index))
+        bc.block_starts = [block_pcs[id(b)] for b in function.blocks]
+        bc.value_slots = dict(self.slots)
         bc.n_regs = self.next_slot
         bc.literal_consts = [(slot, _literal_value(key))
                              for key, slot in self.literal_consts.items()]

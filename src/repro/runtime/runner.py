@@ -24,25 +24,47 @@ from ..ir.module import Module
 from ..passes import optimize
 from ..platform.machine import sequential_time_seconds
 from .interpreter import Interpreter
+from .jit import JitVirtualMachine
 from .memory import Buffer, Pointer
 from .vm import VirtualMachine
 
-#: Available execution engines. ``vm`` (the default) compiles functions to
-#: flat register bytecode once and runs them ~an order of magnitude faster;
-#: ``reference`` is the original tree-walking interpreter, kept as the
-#: semantic baseline (profiles are count-identical between the two).
-ENGINES = {"reference": Interpreter, "vm": VirtualMachine}
+#: Available execution engines — the three tiers. ``vm`` (the default)
+#: compiles functions to flat register bytecode once and runs them ~an
+#: order of magnitude faster than ``reference``, the original tree-walking
+#: interpreter kept as the semantic baseline; ``jit`` adds profile-guided
+#: specialization of hot functions to Python code with numpy-batched
+#: affine loops on top of the VM. All three produce identical outputs and
+#: count-identical per-block profiles.
+ENGINES = {"reference": Interpreter, "vm": VirtualMachine,
+           "jit": JitVirtualMachine}
 DEFAULT_ENGINE = "vm"
 
+#: One-line descriptions, surfaced by the harness's ``--list``.
+ENGINE_DESCRIPTIONS = {
+    "reference": "tree-walking interpreter over the IR (semantic baseline)",
+    "vm": "register bytecode VM, functions lowered once on first call",
+    "jit": "VM plus profile-guided specialization: hot functions become "
+           "compiled Python with numpy-batched affine loops, deopting to "
+           "the VM when a guard fails",
+}
 
-def new_engine(module: Module, engine: str | None = None, api_runtime=None):
-    """Instantiate an execution engine by name (None → DEFAULT_ENGINE)."""
+
+def new_engine(module: Module, engine: str | None = None, api_runtime=None,
+               jit_threshold: int | None = None):
+    """Instantiate an execution engine by name (None → DEFAULT_ENGINE).
+
+    ``jit_threshold`` — calls before a function is specialized — only
+    applies to the ``jit`` tier and is ignored by the others.
+    """
     name = engine or DEFAULT_ENGINE
     cls = ENGINES.get(name)
     if cls is None:
         raise ValueError(f"unknown engine {name!r} "
                          f"(choose from {', '.join(sorted(ENGINES))})")
-    return cls(module, api_runtime=api_runtime)
+    kwargs = {}
+    if jit_threshold is not None and cls is JitVirtualMachine:
+        kwargs["jit_threshold"] = jit_threshold
+    return cls(module, api_runtime=api_runtime, **kwargs)
 
 
 @dataclass
@@ -132,9 +154,11 @@ def _bind_arguments(interpreter, module: Module, entry: str,
 
 
 def run_original(workload: CompiledWorkload, entry: str, inputs: dict,
-                 engine: str | None = None) -> ExecutionResult:
+                 engine: str | None = None,
+                 jit_threshold: int | None = None) -> ExecutionResult:
     """Execute the unmodified module, attributing idiom coverage."""
-    interpreter = new_engine(workload.module, engine)
+    interpreter = new_engine(workload.module, engine,
+                             jit_threshold=jit_threshold)
     args, buffers = _bind_arguments(interpreter, workload.module, entry,
                                     inputs)
     value = interpreter.call(entry, args)
@@ -158,7 +182,8 @@ def run_accelerated(workload: CompiledWorkload, entry: str, inputs: dict,
                     matches: list[IdiomMatch] | None = None,
                     engine: str | None = None,
                     backends: list[str] | None = None,
-                    placement: dict | None = None) -> ExecutionResult:
+                    placement: dict | None = None,
+                    jit_threshold: int | None = None) -> ExecutionResult:
     """Transform the matched idioms to API calls, then execute.
 
     The transformation mutates ``workload.module`` in place, so callers
@@ -179,7 +204,7 @@ def run_accelerated(workload: CompiledWorkload, entry: str, inputs: dict,
     if placement is not None:
         runtime.set_placement(placement)
     result = run_transformed(workload, entry, inputs, runtime,
-                             engine=engine)
+                             engine=engine, jit_threshold=jit_threshold)
     result.transforms = applied
     result.rejected = transformer.rejected
     return result
@@ -187,14 +212,16 @@ def run_accelerated(workload: CompiledWorkload, entry: str, inputs: dict,
 
 def run_transformed(workload: CompiledWorkload, entry: str, inputs: dict,
                     runtime: ApiRuntime,
-                    engine: str | None = None) -> ExecutionResult:
+                    engine: str | None = None,
+                    jit_threshold: int | None = None) -> ExecutionResult:
     """Execute an already-transformed module against its ``ApiRuntime``.
 
     Used to replay one transformation under a different engine or
     placement without re-running detection; note the runtime's site
     statistics and event log keep accumulating across replays.
     """
-    interpreter = new_engine(workload.module, engine, api_runtime=runtime)
+    interpreter = new_engine(workload.module, engine, api_runtime=runtime,
+                             jit_threshold=jit_threshold)
     args, buffers = _bind_arguments(interpreter, workload.module, entry,
                                     inputs)
     value = interpreter.call(entry, args)

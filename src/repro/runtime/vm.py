@@ -55,11 +55,14 @@ class VirtualMachine:
     """Executes IR modules via flat register bytecode."""
 
     def __init__(self, module: Module, api_runtime=None,
-                 max_steps: int = 500_000_000, seed: int = 12345):
+                 max_steps: int = 500_000_000, seed: int = 12345,
+                 profile: bool = True):
         self.module = module
         self.api_runtime = api_runtime
         self.max_steps = max_steps
         self.steps = 0
+        self.profiling = profile
+        self._profile_cache: Profile | None = None
         self.rng = LCG(seed)
         self.globals: dict[str, Buffer] = {}
         for gv in module.globals.values():
@@ -70,7 +73,7 @@ class VirtualMachine:
             self.globals[gv.name] = buffer
         self._bc: dict[str, BytecodeFunction] = {}
         self._protos: dict[str, list] = {}
-        self._counts: dict[str, list[int]] = {}
+        self._counts: dict[str, list[int] | None] = {}
 
     # -- public API ---------------------------------------------------------------
     def bind_global(self, name: str, array) -> Buffer:
@@ -89,12 +92,24 @@ class VirtualMachine:
         function = self.module.functions.get(name)
         if function is None or function.is_declaration():
             raise InterpreterError(f"cannot call @{name}")
+        self._profile_cache = None
         return self._run(self._compiled(name), list(args))
 
     @property
     def profile(self) -> Profile:
         """Per-block dynamic counts, keyed identically to the reference
-        engine (by the ``BasicBlock`` objects of ``self.module``)."""
+        engine (by the ``BasicBlock`` objects of ``self.module``).
+
+        The merged view is cached between executions: rebuilding it on
+        every read was O(total blocks) per access, and callers poll it
+        (cost model, reports). Any ``call`` invalidates the cache.
+        """
+        if not self.profiling:
+            raise InterpreterError(
+                "per-block profiling is disabled (profile=False)")
+        prof = self._profile_cache
+        if prof is not None:
+            return prof
         prof = Profile()
         for name, counts in self._counts.items():
             blocks = self._bc[name].blocks
@@ -111,6 +126,7 @@ class VirtualMachine:
                         histogram[inst.opcode] = \
                             histogram.get(inst.opcode, 0) + 1
                     prof.block_opcodes[key] = histogram
+        self._profile_cache = prof
         return prof
 
     # -- compilation cache ---------------------------------------------------------
@@ -128,10 +144,16 @@ class VirtualMachine:
                 proto[slot] = Pointer(self.globals[gname], 0)
             self._bc[name] = bc
             self._protos[name] = proto
-            self._counts[name] = [0] * len(bc.blocks)
+            self._counts[name] = \
+                [0] * len(bc.blocks) if self.profiling else None
         return bc
 
     # -- execution -------------------------------------------------------------------
+    def _dispatch_call(self, name: str, args: list):
+        """Run a module-function call issued from inside a frame. The JIT
+        tier overrides this to route hot callees to compiled code."""
+        return self._run(self._bc.get(name) or self._compiled(name), args)
+
     def _run(self, bc: BytecodeFunction, args: list):
         if len(args) != len(bc.arg_slots):
             raise InterpreterError(
@@ -139,16 +161,35 @@ class VirtualMachine:
         regs = self._protos[bc.name].copy()
         for slot, value in zip(bc.arg_slots, args):
             regs[slot] = value
-        allocas: list = [None] * bc.n_allocas
+        counts = self._counts[bc.name]
+        if counts is not None:
+            counts[0] += 1
+        steps = self.steps + 1
+        self.steps = steps
+        if steps > self.max_steps:
+            raise InterpreterError(_BUDGET_MSG)
+        return self._execute_from(bc, regs, [None] * bc.n_allocas, 0)
+
+    def _resume(self, bc: BytecodeFunction, regs: list, allocas: list,
+                block_index: int):
+        """Re-enter a frame at a block boundary (JIT deopt path).
+
+        ``regs``/``allocas`` carry the live frame state built by the
+        caller; the edge into the target block — its profile count and
+        step — has already been accounted, so execution continues as if
+        the VM had taken that edge itself. Entering at a block start is
+        always safe: phis emit no code (their slots were written by the
+        incoming edge's move list).
+        """
+        return self._execute_from(bc, regs, allocas,
+                                  bc.block_starts[block_index])
+
+    def _execute_from(self, bc: BytecodeFunction, regs: list,
+                      allocas: list, pc: int):
         counts = self._counts[bc.name]
         code = bc.code
         max_steps = self.max_steps
-        counts[0] += 1
-        steps = self.steps + 1
-        if steps > max_steps:
-            self.steps = steps
-            raise InterpreterError(_BUDGET_MSG)
-        pc = 0
+        steps = self.steps
         try:
             while True:
                 inst = code[pc]
@@ -171,7 +212,8 @@ class VirtualMachine:
                     pc, moves, bx = inst[2] if regs[inst[1]] else inst[3]
                     for d, s in moves:
                         regs[d] = regs[s]
-                    counts[bx] += 1
+                    if counts is not None:
+                        counts[bx] += 1
                     steps += 1
                     if steps > max_steps:
                         raise InterpreterError(_BUDGET_MSG)
@@ -179,7 +221,8 @@ class VirtualMachine:
                     pc, moves, bx = inst[1]
                     for d, s in moves:
                         regs[d] = regs[s]
-                    counts[bx] += 1
+                    if counts is not None:
+                        counts[bx] += 1
                     steps += 1
                     if steps > max_steps:
                         raise InterpreterError(_BUDGET_MSG)
@@ -253,10 +296,9 @@ class VirtualMachine:
                         regs[inst[1]] = result
                     pc += 1
                 elif op == OP_CALL_FN:
-                    callee = self._bc.get(inst[2]) or self._compiled(inst[2])
                     self.steps = steps
-                    result = self._run(callee,
-                                       [regs[s] for s in inst[3]])
+                    result = self._dispatch_call(
+                        inst[2], [regs[s] for s in inst[3]])
                     steps = self.steps
                     if inst[1] >= 0:
                         regs[inst[1]] = result

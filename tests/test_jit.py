@@ -1,0 +1,238 @@
+"""JIT tier equivalence: specialized Python + numpy kernels vs the VM.
+
+The jit tier must be observationally **bit-identical** to the register VM
+(and hence to the reference interpreter): same return values, same memory
+contents, count-identical per-block profiles and the same step totals, on
+every suite workload. The deopt path — kernels whose guard fails at run
+time — must fall back to the VM mid-call without breaking any of those
+contracts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpreterError
+from repro.frontend import compile_c
+from repro.passes import optimize
+from repro.runtime import (
+    CodeCache,
+    Interpreter,
+    JitVirtualMachine,
+    VirtualMachine,
+    compile_workload,
+)
+from repro.runtime.runner import _bind_arguments
+from repro.workloads import all_workloads, get_workload
+
+WORKLOADS = [w.name for w in all_workloads()]
+
+
+@pytest.fixture(scope="module")
+def compiled_suite():
+    """One compile+detect pass per workload, shared across tests."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            w = get_workload(name)
+            cache[name] = (w, compile_workload(name, w.source))
+        return cache[name]
+    return get
+
+
+def _execute(engine_cls, compiled, workload, **kwargs):
+    engine = engine_cls(compiled.module, **kwargs)
+    args, buffers = _bind_arguments(engine, compiled.module, workload.entry,
+                                    workload.make_inputs(1))
+    value = engine.call(workload.entry, args)
+    for name, buffer in engine.globals.items():
+        buffers.setdefault(name, buffer)
+    return value, buffers, engine.profile, engine
+
+
+def _assert_identical(a, b, label):
+    va, ba, pa, ea = a
+    vb, bb, pb, eb = b
+    if va is None:
+        assert vb is None, label
+    else:
+        assert va == vb or (np.isnan(va) and np.isnan(vb)), label
+    assert set(ba) == set(bb), label
+    for name, buffer in ba.items():
+        np.testing.assert_array_equal(buffer.data, bb[name].data,
+                                      err_msg=f"{label}:{name}")
+    assert pa.block_counts == pb.block_counts, label
+    assert pa.block_sizes == pb.block_sizes, label
+    assert pa.opcode_counts() == pb.opcode_counts(), label
+    assert ea.steps == eb.steps, label
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_jit_bit_identical_on_suite(name, compiled_suite):
+    """Outputs bit-equal AND per-block counts identical across all three
+    tiers, per workload."""
+    workload, compiled = compiled_suite(name)
+    ref = _execute(Interpreter, compiled, workload)
+    vm = _execute(VirtualMachine, compiled, workload)
+    jit = _execute(JitVirtualMachine, compiled, workload)
+    _assert_identical(vm, jit, f"{name}:vm-vs-jit")
+    # Reference values can differ from the VM only in float repr of the
+    # same computation — in practice they are bit-equal too.
+    _assert_identical(ref, jit, f"{name}:ref-vs-jit")
+
+
+# ---------------------------------------------------------------------------
+# Unit programs
+# ---------------------------------------------------------------------------
+
+def engines_for(src, **jit_kwargs):
+    # One module for both engines: per-block profiles are keyed by the
+    # BasicBlock objects, so sharing makes them directly comparable.
+    m = compile_c(src)
+    optimize(m)
+    return VirtualMachine(m), JitVirtualMachine(m, **jit_kwargs)
+
+
+def ptr_args(engine, arrays):
+    from repro.runtime import Buffer, Pointer
+    return [Pointer(Buffer.from_numpy(f"a{i}", a.copy()), 0)
+            for i, a in enumerate(arrays)]
+
+
+RECURRENCE = """
+void f(double *a, int n) {
+  for (int i = 0; i < n - 1; i++) a[i + 1] = a[i] * 0.5 + 1.0;
+}
+"""
+
+
+class TestDeopt:
+    def test_recurrence_deopts_and_matches_vm(self):
+        # a[i+1] depends on a[i]: the store lattice trails the load
+        # lattice, the overlap guard must refuse and fall back mid-call.
+        vm, jit = engines_for(RECURRENCE)
+        data = np.linspace(1.0, 2.0, 64)
+        (pv,), (pj,) = ptr_args(vm, [data]), ptr_args(jit, [data])
+        vm.call("f", [pv, 64])
+        jit.call("f", [pj, 64])
+        assert jit.deopt_count == 1
+        assert any(jit.deopt_sites.values())
+        np.testing.assert_array_equal(pv.buffer.data, pj.buffer.data)
+        assert vm.profile.block_counts == jit.profile.block_counts
+        assert vm.steps == jit.steps
+
+    def test_deopt_site_memo_skips_failing_kernel(self):
+        # The failing site is remembered: later calls run the scalar
+        # specialization directly instead of re-deopting.
+        _, jit = engines_for(RECURRENCE)
+        (p,) = ptr_args(jit, [np.ones(32)])
+        jit.call("f", [p, 32])
+        assert jit.deopt_count == 1
+        (p2,) = ptr_args(jit, [np.ones(32)])
+        jit.call("f", [p2, 32])
+        assert jit.deopt_count == 1  # no second deopt
+
+    def test_gather_bounds_deopt_reproduces_wraparound(self):
+        # Negative indirect indices: the kernel's bounds check deopts and
+        # the VM replays python-style negative indexing bit-exactly.
+        src = """
+double f(double *x, int *idx, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) s += x[idx[i]];
+  return s;
+}
+"""
+        vm, jit = engines_for(src)
+        x = np.arange(1.0, 17.0)
+        idx = np.array([0, 5, -1, 3, 2, 7, -2, 1], dtype=np.int64)
+        (xv, iv), (xj, ij) = ptr_args(vm, [x, idx]), ptr_args(jit, [x, idx])
+        assert vm.call("f", [xv, iv, 8]) == jit.call("f", [xj, ij, 8])
+        assert jit.deopt_count == 1
+        assert vm.steps == jit.steps
+        # In-range indices vectorize without deopting.
+        ok = np.array([0, 5, 1, 3, 2, 7, 4, 1], dtype=np.int64)
+        (xv, iv), (xj, ij) = ptr_args(vm, [x, ok]), ptr_args(jit, [x, ok])
+        assert vm.call("f", [xv, iv, 8]) == jit.call("f", [xj, ij, 8])
+        assert jit.deopt_count == 1  # unchanged
+
+    def test_out_of_bounds_faults_identically(self):
+        src = """
+double f(double *x, int *idx, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) s += x[idx[i]];
+  return s;
+}
+"""
+        vm, jit = engines_for(src)
+        x = np.ones(8)
+        idx = np.full(8, 1000, dtype=np.int64)
+        (xv, iv), (xj, ij) = ptr_args(vm, [x, idx]), ptr_args(jit, [x, idx])
+        with pytest.raises(InterpreterError):
+            vm.call("f", [xv, iv, 8])
+        with pytest.raises(InterpreterError):
+            jit.call("f", [xj, ij, 8])
+        assert vm.steps == jit.steps
+
+    def test_budget_exhaustion_deopts_then_raises_like_vm(self):
+        src = "void f(double *a, int n) " \
+              "{ for (int i = 0; i < n; i++) a[i] = 1.0; }"
+        vm, jit = engines_for(src)
+        vm.max_steps = jit.max_steps = 50
+        (pv,), (pj,) = ptr_args(vm, [np.zeros(512)]), \
+            ptr_args(jit, [np.zeros(512)])
+        with pytest.raises(InterpreterError, match="budget"):
+            vm.call("f", [pv, 512])
+        with pytest.raises(InterpreterError, match="budget"):
+            jit.call("f", [pj, 512])
+        assert vm.steps == jit.steps
+
+    def test_zero_trip_loop_skips_kernel(self):
+        src = "double f(double *a, int n) " \
+              "{ double s = 0.0; for (int i = 0; i < n; i++) s += a[i]; " \
+              "return s; }"
+        vm, jit = engines_for(src)
+        (pv,), (pj,) = ptr_args(vm, [np.ones(4)]), ptr_args(jit, [np.ones(4)])
+        assert vm.call("f", [pv, 0]) == jit.call("f", [pj, 0]) == 0.0
+        assert jit.deopt_count == 0
+        assert vm.steps == jit.steps
+
+
+class TestTieringPolicy:
+    SRC = "double f(double *a, int n) " \
+          "{ double s = 0.0; for (int i = 0; i < n; i++) s += a[i] * a[i]; " \
+          "return s; }"
+
+    def test_threshold_transition(self):
+        _, jit = engines_for(self.SRC, jit_threshold=3)
+        expected = float(np.sum(np.arange(16.0) ** 2))
+        for call in range(1, 5):
+            (p,) = ptr_args(jit, [np.arange(16.0)])
+            assert jit.call("f", [p, 16]) == expected
+            compiled = "f" in jit.jit_compiled()
+            assert compiled == (call >= 3), call
+
+    def test_threshold_one_compiles_first_call(self):
+        _, jit = engines_for(self.SRC)
+        (p,) = ptr_args(jit, [np.ones(8)])
+        jit.call("f", [p, 8])
+        assert jit.jit_compiled() == ["f"]
+
+    def test_profile_opt_out(self):
+        _, jit = engines_for(self.SRC, profile=False)
+        (p,) = ptr_args(jit, [np.ones(8)])
+        assert jit.call("f", [p, 8]) == 8.0
+        with pytest.raises(InterpreterError):
+            jit.profile
+
+    def test_code_cache_shared_across_vms(self):
+        cache = CodeCache()
+        _, jit1 = engines_for(self.SRC, code_cache=cache)
+        (p,) = ptr_args(jit1, [np.ones(8)])
+        jit1.call("f", [p, 8])
+        assert cache.stats()["compiles"] == 1
+        _, jit2 = engines_for(self.SRC, code_cache=cache)
+        (p,) = ptr_args(jit2, [np.ones(8)])
+        jit2.call("f", [p, 8])
+        stats = cache.stats()
+        assert stats["compiles"] == 1  # second VM reused the code object
+        assert stats["hits"] >= 1

@@ -387,7 +387,13 @@ class TestCliAndBench:
         out = capsys.readouterr().out
         assert "parallel-cpu" in out and "fft" in out
         assert "Placement strategies" in out
-        assert "vm (default)" in out
+        assert "Execution tiers" in out
+        vm_line = next(line for line in out.splitlines()
+                       if line.strip().startswith("vm "))
+        assert "(default)" in vm_line
+        jit_line = next(line for line in out.splitlines()
+                        if line.strip().startswith("jit "))
+        assert "profile-guided" in jit_line
 
     def test_bench_offload_invariants_on_subset(self):
         from repro.experiments.bench_offload import (
