@@ -671,8 +671,36 @@ class JitVirtualMachine(VirtualMachine):
         if fn is _UNSEEN and self.hotness.note_call(name):
             fn = self._compile_jit(name, bc)
             if fn is not None:
-                return fn(self, args)
+                return self._first_run(name, fn, bc, args)
         return self._run(bc, args)
+
+    def _first_run(self, name: str, fn, bc: BytecodeFunction, args: list):
+        """Safety net around a specialization's maiden execution.
+
+        Generated code converts every guest-visible fault to
+        :class:`InterpreterError` itself, so any other exception escaping
+        it (NameError, TypeError, UnboundLocalError, …) is a codegen
+        defect: blacklist the function and replay the call on the
+        always-correct VM tier instead of propagating the raw error.
+        Step budget, RNG state and this function's block counts are
+        restored before the replay; stores the defective code already
+        made into caller-visible buffers are recomputed by the replay
+        rather than rolled back.
+        """
+        steps0, rng0 = self.steps, self.rng.state
+        counts0 = self._counts.get(name) if self.profiling else None
+        if counts0 is not None:
+            counts0 = list(counts0)
+        try:
+            return fn(self, args)
+        except InterpreterError:
+            raise
+        except Exception:
+            self._jit_fns[name] = None
+            self.steps, self.rng.state = steps0, rng0
+            if counts0 is not None:
+                self._counts[name][:] = counts0
+            return self._run(bc, args)
 
     def jit_compiled(self) -> list[str]:
         """Names of functions currently running specialized code."""

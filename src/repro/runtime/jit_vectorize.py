@@ -397,8 +397,6 @@ class _Planner:
                 rel, line = self.load_lines[i]
                 self.load_lines[i] = (rel, line + ".copy()")
         body = self.plan.body_lines
-        if self.uses_kv:
-            body.append((0, "_kv = np.arange(_t, dtype=np.int64)"))
         body.extend(self.load_lines)
         body.extend((0, line) for line in self.compute_lines)
         self.compute_lines.clear()
@@ -414,6 +412,12 @@ class _Planner:
             body.append((0, f"{rtok} = _acc"))
         itok = self._tok(self.ind_phi)
         body.append((0, f"{itok} = {itok} + _t * ({self.step})"))
+        # Prepended last: vectorizing the reduction operands above may be
+        # the first thing that sets uses_kv (e.g. sitofp of an
+        # induction-affine value), so the decision cannot be made before
+        # every expression has been emitted.
+        if self.uses_kv:
+            body.insert(0, (0, "_kv = np.arange(_t, dtype=np.int64)"))
         self.plan.guard_expr = \
             f"_vec_guard(({', '.join(self.accesses)},), _t)"
 

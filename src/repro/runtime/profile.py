@@ -14,10 +14,15 @@ the specializer decides *how*. Two pieces:
 * :class:`CodeCache` — compiled code objects keyed by the function's
   **content fingerprint** (the same sha256-over-canonical-text recipe
   PR 5's detection cache uses, see :mod:`repro.cache.fingerprint`).
-  Generated source is a pure function of the canonical IR text plus the
-  JIT configuration, so two VMs running structurally identical modules
-  share one compilation, and a transformed function (different canonical
-  text) correctly misses. An optional :class:`~repro.cache.store
+  Everything *semantically visible* in the generated source is a pure
+  function of the canonical IR text plus the JIT configuration, so two
+  VMs running structurally identical modules share one compilation, and
+  a transformed function (different canonical text) correctly misses.
+  One perf-only input is deliberately excluded from the key: dispatch
+  *arm ordering* consults the compiling VM's warm per-block counts when
+  available (static loop depth otherwise), so a cache hit may serve a
+  sibling VM's ordering — identical results and profiles, possibly a
+  different hottest-first layout. An optional :class:`~repro.cache.store
   .ArtifactStore` backing persists the generated *source text*, letting
   warm sessions skip the bytecode walk and codegen and go straight to
   ``compile()``.
@@ -40,10 +45,13 @@ def jit_fingerprint(function: Function, profiling: bool,
                     vectorize: bool) -> str:
     """Content address of one function's specialized source.
 
-    Folds everything the generated text depends on: the canonical IR
-    form, the module's globals (generated code binds them by name), and
-    the JIT configuration (profiled sources carry count increments;
-    vectorized sources carry guards and kernels).
+    Folds everything the generated text *semantically* depends on: the
+    canonical IR form, the module's globals (generated code binds them
+    by name), and the JIT configuration (profiled sources carry count
+    increments; vectorized sources carry guards and kernels). Dispatch
+    arm ordering — a perf-only layout choice steered by the compiling
+    VM's dynamic counts — is intentionally not folded in; see the module
+    docstring.
     """
     module = function.module
     globals_sig = globals_signature(module) if module is not None else ""

@@ -197,6 +197,65 @@ double f(double *x, int *idx, int n) {
         assert vm.steps == jit.steps
 
 
+class TestKvOrdering:
+    def test_sitofp_reduction_operand_defines_kv(self):
+        # Regression: the only _kv use comes from vectorizing a
+        # *reduction operand* (sitofp of the induction variable), which
+        # happens after loads/stores are assembled — the arange line must
+        # still end up first in the kernel body.
+        src = "double f(double *a, int n) { double s = 0; " \
+              "for (int i = 0; i < n; i++) s += a[i] * (double)i; " \
+              "return s; }"
+        vm, jit = engines_for(src)
+        data = np.linspace(0.5, 2.0, 16)
+        (pv,), (pj,) = ptr_args(vm, [data]), ptr_args(jit, [data])
+        assert vm.call("f", [pv, 16]) == jit.call("f", [pj, 16])
+        assert jit.jit_compiled() == ["f"]
+        assert jit.deopt_count == 0  # vectorized, not rejected
+        assert vm.profile.block_counts == jit.profile.block_counts
+        assert vm.steps == jit.steps
+
+
+class TestCodegenDefectSafetyNet:
+    SRC = "double f(double *a, int n) " \
+          "{ double s = 0.0; for (int i = 0; i < n; i++) s += a[i]; " \
+          "return s; }"
+
+    def _defective_pair(self):
+        vm, jit = engines_for(self.SRC)
+
+        def fake_compile(name, bc):
+            def broken(vm, args):
+                vm.steps += 999           # state the fallback must undo
+                if vm.profiling:
+                    vm._counts[name][0] += 7
+                raise NameError("_kv is not defined")
+            jit._jit_fns[name] = broken
+            return broken
+        jit._compile_jit = fake_compile
+        return vm, jit
+
+    def test_unexpected_exception_blacklists_and_replays_on_vm(self):
+        vm, jit = self._defective_pair()
+        (pv,), (pj,) = ptr_args(vm, [np.ones(8)]), ptr_args(jit, [np.ones(8)])
+        assert vm.call("f", [pv, 8]) == jit.call("f", [pj, 8]) == 8.0
+        assert jit._jit_fns["f"] is None  # permanently on the VM tier
+        assert vm.steps == jit.steps
+        assert vm.profile.block_counts == jit.profile.block_counts
+        # Later calls go straight to the VM, no recompilation attempt.
+        (p2,) = ptr_args(jit, [np.ones(8)])
+        assert jit.call("f", [p2, 8]) == 8.0
+
+    def test_interpreter_errors_still_propagate(self):
+        # Guest-visible faults raised by generated code must NOT trigger
+        # the fallback: they are the correct result.
+        _, jit = engines_for(self.SRC)
+        jit.max_steps = 5
+        (p,) = ptr_args(jit, [np.ones(512)])
+        with pytest.raises(InterpreterError, match="budget"):
+            jit.call("f", [p, 512])
+
+
 class TestTieringPolicy:
     SRC = "double f(double *a, int n) " \
           "{ double s = 0.0; for (int i = 0; i < n; i++) s += a[i] * a[i]; " \
