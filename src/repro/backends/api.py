@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import BackendError
+from ..reliability import faults
+from ..reliability.quarantine import Quarantine
 
 #: Idiom kinds an API can implement, by Table-3 column.
 API_DESCRIPTORS: "dict[str, ApiDescriptor]" = {}
@@ -217,6 +219,16 @@ class ApiRuntime:
     this log to charge host↔device transfers only on actual residency
     changes along the real execution order — see
     :mod:`repro.platform.placement`.
+
+    Dispatch at **guarded** sites is failure-contained: the IR's guarded
+    multi-version keeps the original loop reachable behind the site's i1
+    result, so a handler that raises is caught, any partial writes to its
+    output buffers are rolled back (``failsafe``), the failure is counted
+    against the (backend, category) pair in ``quarantine``, and the
+    dispatch answers 0 — the workload re-runs the intact original loop
+    and produces the exact pre-transformation result. Once a pair trips
+    the quarantine threshold its guarded sites skip the handler outright,
+    and quarantine-aware planners/transformers stop selecting it.
     """
 
     def __init__(self) -> None:
@@ -230,6 +242,14 @@ class ApiRuntime:
         #: bytes/events into each site's stats.
         self.placement_locations: dict | None = None
         self._residency = None
+        #: (backend, category) dispatch-failure ledger.
+        self.quarantine = Quarantine()
+        #: Roll back partial output writes before falling back. Costs one
+        #: buffer copy per guarded dispatch; disable only for workloads
+        #: whose handlers are known to write all-or-nothing.
+        self.failsafe = True
+        #: One record per contained dispatch failure, in firing order.
+        self.dispatch_failures: list[dict] = []
 
     def new_site(self, idiom: str, category: str, handler: Callable,
                  description: str = "", backend: str = "",
@@ -296,7 +316,64 @@ class ApiRuntime:
                     self.events_overflowed = True
                 if self.placement_locations is not None:
                     self._track(site, accesses)
+        if site.kind == "call" and site.guarded:
+            return self._dispatch_guarded(site, args, engine)
+        if site.kind == "call":
+            faults.maybe_fire("backend.dispatch",
+                              f"{site.backend}/{site.callee}")
         return site.handler(args, engine)
+
+    def _dispatch_guarded(self, site: ApiCallSite, args: list, engine):
+        """Guarded-site dispatch: 1 on success, 0 to run the original
+        loop (quarantined backend, or a handler failure — contained,
+        rolled back, and recorded)."""
+        if self.quarantine.is_quarantined(site.backend, site.category):
+            site.stats["quarantine_skips"] = \
+                site.stats.get("quarantine_skips", 0) + 1
+            return 0
+        snapshot = self._snapshot_writes(site, args) if self.failsafe \
+            else None
+        try:
+            faults.maybe_fire("backend.dispatch",
+                              f"{site.backend}/{site.callee}")
+            site.handler(args, engine)
+        except Exception as exc:
+            self._restore_writes(snapshot)
+            quarantined = self.quarantine.record_failure(
+                site.backend, site.category, str(exc))
+            site.stats["dispatch_failures"] = \
+                site.stats.get("dispatch_failures", 0) + 1
+            self.dispatch_failures.append({
+                "callee": site.callee, "backend": site.backend,
+                "category": site.category, "error": str(exc),
+                "quarantined": quarantined,
+            })
+            return 0
+        return 1
+
+    @staticmethod
+    def _snapshot_writes(site: ApiCallSite, args: list) -> list:
+        """Copies of the output buffers a failing handler may have
+        partially written; keyed by buffer identity (a handler writing
+        two views of one buffer snapshots it once)."""
+        snapshot: list = []
+        seen: set = set()
+        for index in site.writes:
+            if index >= len(args):
+                continue
+            buffer = getattr(args[index], "buffer", None)
+            if buffer is None or id(buffer) in seen:
+                continue
+            seen.add(id(buffer))
+            snapshot.append((buffer, buffer.data.copy()))
+        return snapshot
+
+    @staticmethod
+    def _restore_writes(snapshot: list | None) -> None:
+        if not snapshot:
+            return
+        for buffer, saved in snapshot:
+            buffer.data[...] = saved
 
     def _track(self, site: ApiCallSite, accesses: tuple) -> None:
         location = self.placement_locations.get(site.call_id, "host")

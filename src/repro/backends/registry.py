@@ -120,14 +120,21 @@ class BackendRegistry:
         return [d for d in self.descriptors(allowed)
                 if d.supports(platform, category)]
 
-    def contracts_for(self, category: str,
-                      allowed=None) -> list[LoweringContract]:
+    def contracts_for(self, category: str, allowed=None,
+                      quarantine=None) -> list[LoweringContract]:
         """Contracts able to *lower* a match of ``category``, in
-        registration order (the transformer tries them in turn)."""
+        registration order (the transformer tries them in turn).
+
+        ``quarantine`` (a :class:`~repro.reliability.quarantine.Quarantine`)
+        drops backends whose (backend, category) pair is quarantined, so
+        re-transformation after repeated dispatch failures selects the
+        next registered backend instead of the one that keeps failing."""
         out = []
         for entry in self.entries(allowed):
             contract = entry.contract(category)
-            if contract is not None:
+            if contract is not None and not (
+                    quarantine is not None and
+                    quarantine.is_quarantined(entry.name, category)):
                 out.append(contract)
         return out
 

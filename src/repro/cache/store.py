@@ -8,12 +8,27 @@ The store is deliberately boring and failure-proof:
   directory and ``os.replace``d into place, so readers never observe a
   half-written entry, including concurrent writers across processes (the
   last writer wins with an identical payload: entries are content-
-  addressed, so two writers of one key are writing the same bytes).
+  addressed, so two writers of one key are writing the same bytes). Temp
+  names embed the writer's pid plus a per-process counter, so concurrent
+  writers — including forked children racing their parent — can never
+  collide on the scratch file itself.
+* **Optionally durable** — ``durable=True`` fsyncs the temp file before
+  the rename and the directory after it, so a machine crash immediately
+  after :meth:`put` returns cannot leave a hole or a garbage entry where
+  the rename landed. The default stays non-durable: the store is a
+  cache, and a lost entry is just a future miss.
 * **Versioned** — every payload embeds :data:`STORE_VERSION`; a mismatch
   reads as a miss, so format changes never need migrations.
 * **Corruption-tolerant** — unreadable, unparsable or mis-shaped entries
+  (truncated JSON, zero-byte files, wrong version, non-dict payloads)
   are misses, never errors; the offending file is unlinked best-effort.
   A cache must not be able to take the service down.
+
+Both endpoints are fault-injection seams (``store.read`` /
+``store.write``, see :mod:`repro.reliability.faults`); the ``torn`` kind
+is implemented here by deliberately writing a truncated payload to the
+final path — simulating the non-atomic writer this store refuses to be —
+which the next :meth:`get` must classify as a corrupt miss.
 
 The store knows nothing about detection; payload schemas live with their
 producers (:mod:`repro.cache.detection`).
@@ -21,16 +36,24 @@ producers (:mod:`repro.cache.detection`).
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
-import tempfile
 import threading
 from dataclasses import dataclass, field
+
+from ..reliability import faults
 
 #: Bump on any payload schema change; old entries become misses.
 STORE_VERSION = 1
 
 _HEX = set("0123456789abcdef")
+
+#: Per-process temp-name counter. Combined with the pid at use time (not
+#: import time — a fork after import must not clone the discriminator),
+#: it makes every writer's scratch file unique without consulting the
+#: filesystem.
+_TMP_COUNTER = itertools.count()
 
 
 @dataclass
@@ -64,6 +87,8 @@ class ArtifactStore:
 
     root: str
     stats: StoreStats = field(default_factory=StoreStats)
+    #: fsync temp file + directory around the rename (crash durability).
+    durable: bool = False
     #: Serializes stats updates — lookups run from DetectionSession
     #: worker threads, and unsynchronized ``+=`` would lose counts.
     _lock: threading.Lock = field(default_factory=threading.Lock,
@@ -86,13 +111,16 @@ class ArtifactStore:
         content, so the file is left alone."""
         path = self._path(key)
         try:
+            faults.maybe_fire("store.read", key)
             with open(path, "rb") as fh:
                 payload = json.load(fh)
         except FileNotFoundError:
             with self._lock:
                 self.stats.misses += 1
             return None
-        except OSError:
+        except (OSError, faults.InjectedFault):
+            # An injected read fault is exactly a transient I/O error:
+            # a miss that leaves the file alone.
             with self._lock:
                 self.stats.misses += 1
             return None
@@ -123,24 +151,63 @@ class ArtifactStore:
         it does not break detection. Returns whether the write landed."""
         path = self._path(key)
         payload = dict(payload, version=STORE_VERSION)
+        data = json.dumps(payload, separators=(",", ":"))
         try:
+            directive = faults.maybe_fire("store.write", key)
+            if directive is not None and \
+                    getattr(directive, "kind", None) == "torn":
+                # Simulate the non-atomic writer dying mid-write: half
+                # the bytes land at the *final* path. Readers must see a
+                # corrupt miss, never an error or a partial payload.
+                self._write_file(path, data[:max(1, len(data) // 2)])
+                with self._lock:
+                    self.stats.write_errors += 1
+                return False
             directory = os.path.dirname(path)
             os.makedirs(directory, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            tmp = os.path.join(
+                directory,
+                f".{key}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
             try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(payload, fh, separators=(",", ":"))
+                with open(tmp, "w") as fh:
+                    fh.write(data)
+                    if self.durable:
+                        fh.flush()
+                        os.fsync(fh.fileno())
                 os.replace(tmp, path)
+                if self.durable:
+                    self._sync_dir(directory)
             except BaseException:
                 self._unlink(tmp)
                 raise
-        except OSError:
+        except (OSError, faults.InjectedFault):
             with self._lock:
                 self.stats.write_errors += 1
             return False
         with self._lock:
             self.stats.writes += 1
         return True
+
+    @staticmethod
+    def _write_file(path: str, data: str) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write(data)
+
+    @staticmethod
+    def _sync_dir(directory: str) -> None:
+        """fsync the directory so the rename itself is on stable storage
+        (best-effort: not every filesystem allows O_RDONLY dir fds)."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
 
     # -- maintenance -----------------------------------------------------------
     def invalidate(self, key: str) -> None:

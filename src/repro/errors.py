@@ -72,6 +72,26 @@ class IDLError(ReproError):
     """Errors in IDL compilation or constraint solving."""
 
 
+class SolveTimeout(IDLError):
+    """A constraint solve exceeded its wall-clock deadline.
+
+    Raised from :meth:`repro.idl.solver.SolverStats.tick` when a
+    :class:`~repro.idl.solver.SolveLimits` deadline is armed; the
+    detection layer catches it and degrades to a partial (possibly
+    empty) match list for the offending function instead of aborting
+    the session."""
+
+
+class InjectedFault(ReproError):
+    """A deterministic fault raised by :mod:`repro.reliability.faults`.
+
+    Never raised in production: only an installed fault plan produces
+    it. Every layer that supervises a fallible seam treats it exactly
+    like the real failure it stands in for (an I/O error, a backend
+    crash, a worker death), which is what makes the fault-injection
+    matrix a faithful test of the recovery paths."""
+
+
 class TransformError(ReproError):
     """Idiom replacement could not be applied."""
 

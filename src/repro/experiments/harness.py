@@ -123,6 +123,13 @@ PLACEMENT = "beam"
 #: disables the persistent cache; reports are bit-identical either way.
 CACHE_DIR: str | None = None
 
+#: Detection supervision (``--deadline`` / ``--max-retries``): a
+#: per-function solve wall-clock bound — overruns degrade to partial
+#: results flagged in ``report.outcomes`` — and the retry budget for
+#: transient worker failures (see :mod:`repro.reliability.supervisor`).
+DEADLINE_S: float | None = None
+MAX_RETRIES = 2
+
 
 def evaluate_workload(workload: Workload, scale: int | None = None,
                       execute: bool = True,
@@ -137,7 +144,7 @@ def evaluate_workload(workload: Workload, scale: int | None = None,
     backends_key = "*" if BACKENDS is None else ",".join(sorted(BACKENDS))
     key = f"{workload.name}@{scale}:{execute}:{effective_workers}:" \
           f"{DETECT_MODE}:{DETECT_ORDERING}:{engine}:{JIT_THRESHOLD}:" \
-          f"{backends_key}:{CACHE_DIR}"
+          f"{backends_key}:{CACHE_DIR}:{DEADLINE_S}:{MAX_RETRIES}"
     if key in _CACHE:
         return _CACHE[key]
     compiled = compile_workload(
@@ -146,7 +153,9 @@ def evaluate_workload(workload: Workload, scale: int | None = None,
         detect_mode=DETECT_MODE,
         ordering=DETECT_ORDERING,
         verify=False,
-        cache_dir=CACHE_DIR)
+        cache_dir=CACHE_DIR,
+        deadline_s=DEADLINE_S,
+        max_retries=MAX_RETRIES)
     ev = WorkloadEvaluation(workload, compiled,
                             compile_base_s=compiled.compile_seconds,
                             compile_idl_s=compiled.detect_seconds)
@@ -552,7 +561,8 @@ _EXPERIMENTS = {
 
 def main(argv: list[str] | None = None) -> int:
     global DETECT_WORKERS, DETECT_MODE, DETECT_ORDERING, ENGINE, SCALE, \
-        JIT_THRESHOLD, BACKENDS, PLACEMENT, CACHE_DIR
+        JIT_THRESHOLD, BACKENDS, PLACEMENT, CACHE_DIR, DEADLINE_S, \
+        MAX_RETRIES
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -607,6 +617,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the artifact cache even if "
                              "$REPRO_CACHE_DIR is set")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-function detection solve deadline; "
+                             "overruns yield partial results flagged in "
+                             "the report outcomes (default: none)")
+    parser.add_argument("--max-retries", type=int, default=2, metavar="N",
+                        help="retry budget for transient detection "
+                             "worker failures before the session "
+                             "degrades to a safer tier (default 2)")
+    parser.add_argument("--fault-plan", default=None, metavar="PLAN",
+                        help="deterministic fault-injection plan: inline "
+                             "JSON or @path to a JSON file (also "
+                             "$REPRO_FAULT_PLAN); reliability testing "
+                             "only — results must stay bit-identical")
     args = parser.parse_args(argv)
     if args.list:
         print_catalog()
@@ -627,6 +651,11 @@ def main(argv: list[str] | None = None) -> int:
     JIT_THRESHOLD = args.jit_threshold
     BACKENDS = args.backends
     PLACEMENT = args.placement
+    DEADLINE_S = args.deadline
+    MAX_RETRIES = args.max_retries
+    if args.fault_plan is not None:
+        from ..reliability import faults
+        faults.install_plan(args.fault_plan)
     if args.no_cache:
         CACHE_DIR = None
     else:

@@ -10,7 +10,7 @@ counting discipline).
 from __future__ import annotations
 
 from ..analysis.info import FunctionAnalyses
-from ..errors import IDLError
+from ..errors import IDLError, SolveTimeout
 from ..ir.module import Function, Module
 from ..idl.compiler import IdiomCompiler
 from ..idl.solver import SolveLimits, SolverStats
@@ -135,14 +135,20 @@ class IdiomDetector:
 
     # -- public API ---------------------------------------------------------------
     def detect(self, module: Module, workers: int = 1,
-               mode: str = "thread") -> DetectionReport:
+               mode: str = "thread",
+               deadline_s: float | None = None,
+               max_retries: int = 2) -> DetectionReport:
         """Detect across a module; ``workers > 1`` fans functions out over
         a :class:`~repro.idioms.scheduler.DetectionSession` worker pool
-        (same report, deterministic merge order)."""
+        (same report, deterministic merge order). ``deadline_s`` bounds
+        each function's solve wall-clock (overruns degrade to partial
+        results); ``max_retries`` bounds the session's retry ladder for
+        transient worker failures."""
         from .scheduler import DetectionSession
 
-        return DetectionSession(self, workers=workers, mode=mode) \
-            .detect(module)
+        return DetectionSession(self, workers=workers, mode=mode,
+                                deadline_s=deadline_s,
+                                max_retries=max_retries).detect(module)
 
     def detect_function(self, function: Function,
                         analyses: FunctionAnalyses | None = None
@@ -152,46 +158,60 @@ class IdiomDetector:
 
     def detect_function_with_stats(
             self, function: Function,
-            analyses: FunctionAnalyses | None = None
+            analyses: FunctionAnalyses | None = None,
+            deadline_s: float | None = None
     ) -> tuple[list[IdiomMatch], SolverStats]:
         """Matches plus aggregated search stats (which include solves that
-        found nothing — matches alone would under-report the work)."""
+        found nothing — matches alone would under-report the work).
+
+        ``deadline_s`` (or ``limits.deadline_s``) arms a wall-clock bound
+        on the solve; blowing it yields a *partial* result — whatever
+        idioms completed before the cutoff, with ``stats.timed_out`` set
+        so downstream layers (cache, session report) can tell a partial
+        match list from a complete one."""
         stats = SolverStats()
         if function.is_declaration():
             return [], stats
         if analyses is None:
             analyses = FunctionAnalyses(function)
+        limits = self.limits if deadline_s is None else \
+            self.limits.with_overrides(deadline_s=deadline_s)
         matches: list[IdiomMatch] = []
-        if self.ordering == "forest":
-            # One fused pass: every idiom's matches from a single forest
-            # walk. Match.stats is the pass-level accounting, shared by
-            # every match of the function.
-            solutions, solve_stats = self.compiler.match_library(
-                function, self.idioms, analyses=analyses,
-                limits=self.limits, memo=self.memo, indexed=self.indexed)
-            stats.merge(solve_stats)
-            for idiom in self.idioms:
-                matches.extend(
-                    m for m in (IdiomMatch(idiom, function, sol,
-                                           stats=solve_stats)
-                                for sol in solutions[idiom])
-                    if _post_filter(m))
-        else:
-            for idiom in self.idioms:
-                found, solve_stats = self._detect_idiom(
-                    function, idiom, analyses)
+        try:
+            if self.ordering == "forest":
+                # One fused pass: every idiom's matches from a single
+                # forest walk. Match.stats is the pass-level accounting,
+                # shared by every match of the function.
+                solutions, solve_stats = self.compiler.match_library(
+                    function, self.idioms, analyses=analyses,
+                    limits=limits, memo=self.memo, indexed=self.indexed)
                 stats.merge(solve_stats)
-                matches.extend(found)
+                for idiom in self.idioms:
+                    matches.extend(
+                        m for m in (IdiomMatch(idiom, function, sol,
+                                               stats=solve_stats)
+                                    for sol in solutions[idiom])
+                        if _post_filter(m))
+            else:
+                for idiom in self.idioms:
+                    found, solve_stats = self._detect_idiom(
+                        function, idiom, analyses, limits)
+                    stats.merge(solve_stats)
+                    matches.extend(found)
+        except SolveTimeout:
+            stats.timed_out = True
         matches = _dedup_by_anchor(matches)
         matches = _resolve_overlaps(matches)
         return matches, stats
 
     # -- internals --------------------------------------------------------------
     def _detect_idiom(self, function: Function, idiom: str,
-                      analyses: FunctionAnalyses
+                      analyses: FunctionAnalyses,
+                      limits: SolveLimits | None = None
                       ) -> tuple[list[IdiomMatch], SolverStats]:
         solutions, stats = self.compiler.match_with_stats(
-            function, idiom, analyses=analyses, limits=self.limits,
+            function, idiom, analyses=analyses,
+            limits=limits or self.limits,
             ordering=self.ordering, memo=self.memo, indexed=self.indexed)
         matches = [IdiomMatch(idiom, function, sol, stats=stats)
                    for sol in solutions]

@@ -1,5 +1,5 @@
 """Detection scheduling: one compiled plan set, batched functions, a
-configurable worker pool.
+supervised worker pool.
 
 A :class:`DetectionSession` is the unit of repository-scale detection the
 ROADMAP's scaling work builds on: it compiles every idiom's execution plan
@@ -20,19 +20,31 @@ Two pool flavours:
   caller's IR objects. Only the standard idiom library is supported there,
   because workers rebuild the detector from configuration alone.
 
+Execution is **supervised** (:mod:`repro.reliability.supervisor`): every
+function gets a wall-clock deadline (``deadline_s``, in-band via
+:class:`~repro.errors.SolveTimeout` plus out-of-band batch timeouts in
+process mode), transient worker failures are retried with backoff
+(``max_retries``), a dead worker pool is respawned for just the unfinished
+functions, and a tier that keeps failing degrades process → thread →
+serial. The session always returns a complete report — every function
+appears, in module order — and ``report.outcomes`` /
+``session.outcomes`` records what it took per function (ok, cache-hit,
+retried, timed-out-partial, degraded).
+
 When the detector carries an artifact cache (:mod:`repro.cache`), the
 session consults it *before* scheduling: every function whose fingerprint
 has a stored entry is served from disk (matches decoded against the
 caller's IR, solve stats restored), and only the remaining functions are
 batched out to workers — whatever the pool flavour. Freshly solved
-functions are written back, and hits and fresh solves are merged in module
-order, so the report is bit-identical to a cold run's: same matches, same
-order, same aggregated stats.
+functions are written back — except timed-out partial results, which must
+never be served as the function's truth later — and hits and fresh solves
+are merged in module order, so the report is bit-identical to a cold
+run's: same matches, same order, same aggregated stats.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 
 from ..analysis.info import FunctionAnalyses
 from ..errors import IDLError
@@ -42,14 +54,23 @@ from ..ir.module import Function, Module
 from ..ir.printer import print_module
 from ..ir.types import parse_type
 from ..ir.values import Argument, ConstantFloat, ConstantInt, GlobalVariable
+from ..reliability import faults
+from ..reliability.supervisor import (
+    FunctionOutcome,
+    RetryPolicy,
+    SessionOutcomes,
+    Supervisor,
+)
 from .matches import DetectionReport, IdiomMatch
 
 
 class DetectionSession:
-    """Shared-plan, batched, optionally parallel idiom detection."""
+    """Shared-plan, batched, supervised, optionally parallel detection."""
 
     def __init__(self, detector=None, workers: int = 1,
-                 mode: str = "thread", batch_size: int | None = None):
+                 mode: str = "thread", batch_size: int | None = None,
+                 deadline_s: float | None = None, max_retries: int = 2,
+                 backoff_s: float = 0.05):
         if detector is None:
             from .detector import IdiomDetector
 
@@ -68,6 +89,12 @@ class DetectionSession:
         self.workers = max(1, int(workers))
         self.mode = mode
         self.batch_size = batch_size
+        self.policy = RetryPolicy(deadline_s=deadline_s,
+                                  max_retries=max(0, int(max_retries)),
+                                  backoff_s=backoff_s)
+        #: Per-function reliability records for the most recent detect()
+        #: call (also attached to the report as ``report.outcomes``).
+        self.outcomes = SessionOutcomes()
         #: FunctionAnalyses per function name, reset and refilled by each
         #: detect() call (thread/serial modes; process workers keep theirs)
         #: for reuse by later pipeline stages. Cache-served functions have
@@ -91,8 +118,12 @@ class DetectionSession:
         self.analyses = {}
         self.cache_hits = self.cache_misses = 0
         self._globals_sig = None
+        self.outcomes = SessionOutcomes()
+        report.outcomes = self.outcomes
         if not functions:
             return report
+        plan = faults.active_plan()
+        fired_before = len(plan.fired) if plan is not None else 0
         cache = self.detector.cache
         warm: dict[str, object] = {}
         self._canonical = {}
@@ -113,6 +144,9 @@ class DetectionSession:
         else:
             cold = functions
         self.cache_misses = len(cold)
+        for name in warm:
+            self.outcomes.record(
+                FunctionOutcome(name, "cache-hit", "cache", attempts=0))
         solved: dict[str, tuple] = {}
         if cold:
             # Lower and plan every idiom up front, whatever the ordering:
@@ -122,15 +156,16 @@ class DetectionSession:
             self.detector.compiler.prepare(
                 self.detector.idioms, memo=self.detector.memo,
                 forest=self.detector.ordering == "forest")
-            if self.workers <= 1:
-                results = [self._detect_batch(cold)]
-            elif self.mode == "thread":
-                results = self._run_threads(cold)
-            else:
-                results = self._run_processes(module, cold)
-            for batch in results:
-                for fname, matches, stats, summary in batch:
-                    solved[fname] = (matches, stats, summary)
+            mode = "serial" if self.workers <= 1 else self.mode
+            supervisor = Supervisor(self.policy, self.outcomes,
+                                    mode=mode, workers=self.workers)
+            kwargs = self._process_callbacks(module) \
+                if mode == "process" else {}
+            rows = supervisor.run(cold, self._solve_one, self._batches,
+                                  **kwargs)
+            for fname, matches, stats, summary in rows.values():
+                solved[fname] = (matches, stats, summary)
+            self._record_outcomes(cold, solved, supervisor)
             if cache is not None:
                 # Process workers cannot consult the store, so they
                 # always return a summary; rewriting one that already
@@ -139,9 +174,17 @@ class DetectionSession:
                 # None for adopted summaries to skip the *recompute*.
                 for function in cold:
                     matches, stats, summary = solved[function.name]
+                    if stats.timed_out:
+                        continue
                     cache.save(function, matches, stats, summary,
                                self._globals_sig,
                                text=self._canonical.get(function.name))
+        if plan is not None:
+            for event in plan.fired[fired_before:]:
+                self.outcomes.note_fault(
+                    "fault injected at {site} (kind {kind}, occurrence "
+                    "{occurrence}, epoch {epoch}, key {key!r})"
+                    .format(**event))
         # Deterministic merge in module order, hits and fresh solves
         # interleaved — bit-identical to the all-cold report.
         for function in functions:
@@ -154,31 +197,29 @@ class DetectionSession:
             report.stats.merge(stats)
         return report
 
-    # -- serial / thread execution ---------------------------------------------
-    def _detect_batch(self, functions: list[Function]) -> list[tuple]:
+    # -- solving primitives -------------------------------------------------------
+    def _solve_one(self, function: Function, epoch: int = 0) -> tuple:
+        """Solve one function in-process (the serial/thread-tier unit)."""
+        faults.maybe_fire("worker.solve", function.name)
         cache = self.detector.cache
-        out = []
-        for function in functions:
-            analyses = FunctionAnalyses(function)
-            adopted = False
-            if cache is not None:
-                # Body-keyed summaries survive config changes: a re-solve
-                # under new limits / idiom sets still skips re-deriving
-                # the feasibility-signature inputs.
-                summary = cache.load_summary(
-                    function, self._canonical.get(function.name))
-                if summary is not None:
-                    analyses.adopt_summary(summary)
-                    adopted = True
-            self.analyses[function.name] = analyses
-            matches, stats = self.detector.detect_function_with_stats(
-                function, analyses)
-            # An adopted summary is already in the store — returning None
-            # keeps save() from recomputing (loop info) and rewriting it.
-            out.append((function.name, matches, stats,
-                        None if adopted or cache is None
-                        else analyses.summary()))
-        return out
+        analyses = FunctionAnalyses(function)
+        adopted = False
+        if cache is not None:
+            # Body-keyed summaries survive config changes: a re-solve
+            # under new limits / idiom sets still skips re-deriving the
+            # feasibility-signature inputs.
+            summary = cache.load_summary(
+                function, self._canonical.get(function.name))
+            if summary is not None:
+                analyses.adopt_summary(summary)
+                adopted = True
+        self.analyses[function.name] = analyses
+        matches, stats = self.detector.detect_function_with_stats(
+            function, analyses, deadline_s=self.policy.deadline_s)
+        # An adopted summary is already in the store — returning None
+        # keeps save() from recomputing (loop info) and rewriting it.
+        return (function.name, matches, stats,
+                None if adopted or cache is None else analyses.summary())
 
     def _batches(self, functions: list[Function]) -> list[list[Function]]:
         size = self.batch_size
@@ -188,42 +229,65 @@ class DetectionSession:
         return [functions[i:i + size]
                 for i in range(0, len(functions), size)]
 
-    def _run_threads(self, functions: list[Function]) -> list[list[tuple]]:
-        batches = self._batches(functions)
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            # Executor.map preserves argument order: deterministic merge.
-            return list(pool.map(self._detect_batch, batches))
+    def _record_outcomes(self, cold, solved, supervisor) -> None:
+        for function in cold:
+            fname = function.name
+            _, stats, _ = solved[fname]
+            meta = supervisor.meta.get(fname, {})
+            seen = tuple(meta.get("faults", ()))
+            # Completions plus failed attempts the supervisor charged to
+            # this function's batches.
+            attempts = max(1, meta.get("attempts", 0) + len(seen))
+            if getattr(stats, "timed_out", False):
+                status = "timed-out-partial"
+            elif meta.get("degraded"):
+                status = "degraded"
+            elif attempts > 1:
+                status = "retried"
+            else:
+                status = "ok"
+            self.outcomes.record(FunctionOutcome(
+                fname, status, meta.get("tier") or "serial",
+                attempts=attempts, faults=seen))
 
     # -- process execution -------------------------------------------------------
-    def _run_processes(self, module: Module,
-                       functions: list[Function]) -> list[list[tuple]]:
+    def _process_callbacks(self, module: Module) -> dict:
+        """The pool-factory / submit / decode triple the supervisor's
+        process tier drives; closes over the module's wire form."""
         detector = self.detector
-        if not detector.standard_library:
-            raise IDLError(
-                "process-mode detection supports the standard idiom "
-                "library only (workers rebuild the detector from "
-                "configuration); use mode='thread' for custom compilers")
         ir_text = print_module(module)
         config = (tuple(detector.idioms),
                   detector.limits.max_solutions, detector.limits.max_steps,
                   detector.ordering, detector.memo, detector.indexed)
-        payloads = [(ir_text, [f.name for f in batch], config)
-                    for batch in self._batches(functions)]
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            encoded_batches = list(pool.map(_process_batch, payloads))
-        results = []
-        for encoded in encoded_batches:
-            batch = []
-            for fname, enc_matches, stats, summary in encoded:
+        deadline_s = self.policy.deadline_s
+        plan = faults.active_plan()
+        plan_spec = plan.as_spec() if plan is not None else None
+
+        def process_pool(workers: int, epoch: int):
+            return ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init,
+                initargs=(plan_spec, epoch))
+
+        def process_submit(pool, batch, epoch):
+            return pool.submit(
+                _process_batch,
+                (ir_text, [f.name for f in batch], config, deadline_s))
+
+        def process_decode(raw) -> list[tuple]:
+            rows = []
+            for fname, enc_matches, stats, summary in raw:
                 function = module.functions[fname]
                 matches = [
                     IdiomMatch(idiom, function,
                                decode_solution(enc_sol, function, module),
                                stats=match_stats)
                     for idiom, enc_sol, match_stats in enc_matches]
-                batch.append((fname, matches, stats, summary))
-            results.append(batch)
-        return results
+                rows.append((fname, matches, stats, summary))
+            return rows
+
+        return {"process_pool": process_pool,
+                "process_submit": process_submit,
+                "process_decode": process_decode}
 
 
 # ---------------------------------------------------------------------------
@@ -280,6 +344,20 @@ def decode_solution(encoded: list[tuple], function: Function,
 _WORKER_CACHE: dict = {}
 
 
+def _worker_init(plan_spec, epoch: int) -> None:
+    """Pool-worker initializer: arm fault injection inside the worker.
+
+    The parent's installed plan (if any) ships as its JSON spec with the
+    current retry epoch, so a respawned pool starts at the epoch the
+    supervisor reached — a crash spec scoped to epoch 0 does not re-fire
+    after the respawn. ``mark_worker`` lets ``crash`` faults genuinely
+    ``os._exit`` here (the parent observes ``BrokenProcessPool``)."""
+    faults.mark_worker(True)
+    if plan_spec is not None:
+        faults.install_plan(plan_spec, epoch=epoch)
+    faults.maybe_fire("worker.spawn")
+
+
 def _worker_detector(config: tuple):
     from .detector import IdiomDetector
 
@@ -312,18 +390,19 @@ def _process_batch(payload: tuple) -> list[tuple]:
     summary — the caller cannot (it never built analyses for functions it
     shipped out), and the artifact cache persists the summary alongside
     the matches."""
-    ir_text, fnames, config = payload
+    ir_text, fnames, config, deadline_s = payload
     detector = _worker_detector(config)
     module = _worker_module(ir_text)
     analyses_cache: dict[str, FunctionAnalyses] = _WORKER_CACHE["analyses"]
     out = []
     for fname in fnames:
+        faults.maybe_fire("worker.solve", fname)
         function = module.functions[fname]
         analyses = analyses_cache.get(fname)
         if analyses is None:
             analyses = analyses_cache[fname] = FunctionAnalyses(function)
         matches, stats = detector.detect_function_with_stats(
-            function, analyses)
+            function, analyses, deadline_s=deadline_s)
         enc_matches = [
             (m.idiom, encode_solution(m.solution, function), m.stats)
             for m in matches]

@@ -15,11 +15,12 @@ solutions are enumerated and deduplicated.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 from typing import Iterator
 
 from ..analysis.info import FunctionAnalyses
-from ..errors import IDLError
+from ..errors import IDLError, SolveTimeout
 from ..ir.module import Function
 from .atoms import COST_NOT_READY, AtomEngine, SolveContext, value_key, \
     values_equal
@@ -44,14 +45,23 @@ class SolveLimits:
 
     max_solutions: int = 10_000
     max_steps: int = DEFAULT_MAX_STEPS
+    #: Wall-clock allowance for one solve, or None for unbounded. Unlike
+    #: ``max_steps`` (which raises :class:`~repro.errors.IDLError`, a
+    #: hard configuration error), blowing the deadline raises
+    #: :class:`~repro.errors.SolveTimeout`, which the detection layer
+    #: converts into a partial result.
+    deadline_s: float | None = None
 
     def with_overrides(self, max_solutions: int | None = None,
-                       max_steps: int | None = None) -> "SolveLimits":
+                       max_steps: int | None = None,
+                       deadline_s: float | None = None) -> "SolveLimits":
         out = self
         if max_solutions is not None:
             out = replace(out, max_solutions=max_solutions)
         if max_steps is not None:
             out = replace(out, max_steps=max_steps)
+        if deadline_s is not None:
+            out = replace(out, deadline_s=deadline_s)
         return out
 
 
@@ -80,14 +90,36 @@ class SolverStats:
     feasibility_skips: int = 0
     subquery_hits: int = 0
     max_steps: int = DEFAULT_MAX_STEPS
+    #: Deadline arming (excluded from :meth:`as_dict`, so cached stats
+    #: payloads keep their pre-deadline shape). ``deadline_at`` is an
+    #: absolute ``time.monotonic()`` instant; ``timed_out`` records that
+    #: this solve (or one merged into it) was cut short, which the cache
+    #: layer uses to refuse to persist partial results.
+    deadline_at: float | None = None
+    timed_out: bool = False
+
+    def arm_deadline(self, deadline_s: float | None) -> None:
+        """Start the wall clock; a None allowance leaves it unarmed."""
+        if deadline_s is not None:
+            self.deadline_at = time.monotonic() + deadline_s
 
     def tick(self) -> None:
         self.ticks += 1
         if self.ticks > self.max_steps:
             raise IDLError(
                 f"constraint search exceeded {self.max_steps} steps")
+        # The clock is sampled every 4096 ticks: a syscall per tick would
+        # dominate the solver's inner loop, and at >1M ticks/s the check
+        # granularity stays well under any sensible deadline.
+        if self.deadline_at is not None and self.ticks & 4095 == 0 \
+                and time.monotonic() > self.deadline_at:
+            self.timed_out = True
+            raise SolveTimeout(
+                f"constraint search exceeded its wall-clock deadline "
+                f"after {self.ticks} steps")
 
     def merge(self, other: "SolverStats") -> "SolverStats":
+        self.timed_out = self.timed_out or other.timed_out
         self.ticks += other.ticks
         self.backtracks += other.backtracks
         self.plan_fallbacks += other.plan_fallbacks
@@ -129,6 +161,7 @@ class Solver:
             max_solutions, max_steps)
         self.limits = limits
         self.stats = SolverStats(max_steps=limits.max_steps)
+        self.stats.arm_deadline(limits.deadline_s)
         self.context = SolveContext(function, analyses)
         self.engine = AtomEngine(self.context, stats=self.stats,
                                  indexed=indexed)

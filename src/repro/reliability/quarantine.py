@@ -1,0 +1,60 @@
+"""Backend quarantine: stop selecting what keeps failing.
+
+A :class:`Quarantine` counts runtime dispatch failures per
+``(backend, category)`` pair — the coordinates both the transformer's
+contract selection and the placement planner use to pick a backend for a
+matched idiom. After ``threshold`` failures the pair is quarantined:
+
+* :meth:`repro.backends.api.ApiRuntime.dispatch` steers every *guarded*
+  site of the pair onto its intact original loop (the aliasing-guard
+  fallback path) without attempting the handler again, and
+* :meth:`repro.backends.registry.BackendRegistry.contracts_for` (when
+  handed the quarantine) stops offering the pair for new lowerings, so
+  re-transformations pick the next registered backend.
+
+The individual failure that trips the counter is *also* contained — the
+dispatch layer replays the original loop for that very call — so
+quarantine is purely an optimization that stops paying for failures,
+never a correctness mechanism.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Quarantine:
+    """Thread-safe (backend, category) failure ledger."""
+
+    def __init__(self, threshold: int = 3):
+        self.threshold = max(1, int(threshold))
+        self._failures: dict[tuple, int] = {}
+        self._lock = threading.Lock()
+
+    def record_failure(self, backend: str, category: str,
+                       reason: str = "") -> bool:
+        """Count one failure; True if the pair is now quarantined."""
+        key = (backend, category)
+        with self._lock:
+            count = self._failures.get(key, 0) + 1
+            self._failures[key] = count
+        return count >= self.threshold
+
+    def is_quarantined(self, backend: str, category: str) -> bool:
+        return self._failures.get((backend, category), 0) >= self.threshold
+
+    def failures(self, backend: str, category: str) -> int:
+        return self._failures.get((backend, category), 0)
+
+    def quarantined(self) -> list[tuple]:
+        """Every quarantined (backend, category) pair, sorted."""
+        return sorted(k for k, n in self._failures.items()
+                      if n >= self.threshold)
+
+    def as_dict(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "failures": {f"{b}/{c}": n
+                         for (b, c), n in sorted(self._failures.items())},
+            "quarantined": [f"{b}/{c}" for b, c in self.quarantined()],
+        }

@@ -32,6 +32,7 @@ import operator
 import numpy as np
 
 from ..errors import InterpreterError
+from ..reliability import faults
 from .bytecode import (
     BIN_FNS,
     FCMP_FNS,
@@ -655,6 +656,9 @@ class JitVirtualMachine(VirtualMachine):
         #: the kernel attempt and stay in specialized scalar code.
         self.deopt_sites: dict[str, bool] = {}
         self._jit_fns: dict[str, object] = {}
+        #: Codegen-defect containments: function name -> number of calls
+        #: replayed on the VM tier after blacklisting its specialization.
+        self.codegen_defect_replays: dict[str, int] = {}
 
     def call(self, name: str, args: list):
         function = self.module.functions.get(name)
@@ -697,6 +701,8 @@ class JitVirtualMachine(VirtualMachine):
             raise
         except Exception:
             self._jit_fns[name] = None
+            self.codegen_defect_replays[name] = \
+                self.codegen_defect_replays.get(name, 0) + 1
             self.steps, self.rng.state = steps0, rng0
             if counts0 is not None:
                 self._counts[name][:] = counts0
@@ -706,10 +712,33 @@ class JitVirtualMachine(VirtualMachine):
         """Names of functions currently running specialized code."""
         return sorted(n for n, f in self._jit_fns.items() if f is not None)
 
+    def outcome_records(self) -> list[dict]:
+        """Per-function reliability records for the JIT tier, mirroring
+        the detection session's outcome report: which functions run
+        specialized code, which were uncompilable, and which tripped the
+        blacklist-and-replay safety net (a contained codegen defect)."""
+        out = []
+        for name in sorted(set(self._jit_fns) |
+                           set(self.codegen_defect_replays)):
+            fn = self._jit_fns.get(name)
+            replays = self.codegen_defect_replays.get(name, 0)
+            if replays:
+                status = "blacklisted-replayed"
+            elif fn is None:
+                status = "uncompilable"
+            else:
+                status = "specialized"
+            out.append({"function": name, "status": status,
+                        "codegen_defect_replays": replays})
+        return out
+
     def _compile_jit(self, name: str, bc: BytecodeFunction):
         function = self.module.functions[name]
         fn = None
         try:
+            # Fault seam: an injected compile failure must degrade to the
+            # VM tier exactly like a genuinely uncompilable function.
+            faults.maybe_fire("jit.compile", name)
             fp = jit_fingerprint(function, self.profiling, self.vectorize)
             code = self.code_cache.get(fp)
             if code is None:
@@ -722,7 +751,7 @@ class JitVirtualMachine(VirtualMachine):
                             for k in range(bc.n_allocas)]
             exec(code, ns)
             fn = ns["_jitfn"]
-        except (_Unsupported, SyntaxError):
+        except (_Unsupported, SyntaxError, faults.InjectedFault):
             fn = None   # permanently uncompilable: the VM runs it
         self._jit_fns[name] = fn
         return fn

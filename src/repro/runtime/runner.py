@@ -107,7 +107,9 @@ def compile_workload(name: str, source: str, workers: int = 1,
                      detect_mode: str = "thread",
                      ordering: str = "forest",
                      verify: bool = True,
-                     cache_dir: str | None = None) -> CompiledWorkload:
+                     cache_dir: str | None = None,
+                     deadline_s: float | None = None,
+                     max_retries: int = 2) -> CompiledWorkload:
     """Compile and detect, recording wall-clock for Table 2.
 
     ``workers``/``detect_mode`` configure the detection session's worker
@@ -118,6 +120,10 @@ def compile_workload(name: str, source: str, workers: int = 1,
     hot path; tests keep it on. ``cache_dir`` enables the persistent
     artifact cache (:mod:`repro.cache`): unchanged functions are served
     from disk with the report still bit-identical to a cold run.
+    ``deadline_s``/``max_retries`` configure detection supervision: a
+    per-function solve wall-clock bound (overruns become partial
+    results, flagged in ``report.outcomes``) and the retry budget for
+    transient worker failures.
     """
     import time
 
@@ -126,7 +132,8 @@ def compile_workload(name: str, source: str, workers: int = 1,
     optimize(module, verify=verify)
     t1 = time.perf_counter()
     report = IdiomDetector(ordering=ordering, cache=cache_dir) \
-        .detect(module, workers=workers, mode=detect_mode)
+        .detect(module, workers=workers, mode=detect_mode,
+                deadline_s=deadline_s, max_retries=max_retries)
     t2 = time.perf_counter()
     return CompiledWorkload(name, module, report,
                             compile_seconds=t1 - t0,

@@ -124,19 +124,32 @@ class Region:
 
             preheader:  %safe = call i1 repro.api.<guard>(args...)
                         br %safe, %apifast, %loop_header
-            apifast:    call void repro.api.<site>(args...)
-                        br %exit
+            apifast:    %ok = call i1 repro.api.<site>(args...)
+                        br %ok, %exit, %loop_header
 
         The original loop stays intact and runs whenever the guard trips
         (potentially-overlapping buffers), keeping the transformation
-        bit-exact under aliasing.
+        bit-exact under aliasing. The API call itself also returns an i1:
+        the dispatch layer answers 0 when the backend failed (after
+        rolling back any partial writes), steering execution onto that
+        same original loop — so a crashing backend degrades to the
+        pre-transformation result instead of aborting the workload.
+        Every loop-header phi gains an incoming for the new apifast edge,
+        carrying its preheader value (the loop starts from scratch
+        exactly as if the guard had tripped).
         """
         if not self.can_guard():
             raise TransformError("region does not admit a guarded call")
         term = self.preheader.terminator
         fast = self.function.append_block("apifast")
-        fast.append(CallInst(site.callee, self.args, VOID))
-        fast.append(BranchInst(self.exit_block))
+        call = CallInst(site.callee, self.args, I1,
+                        name=self.function.unique_name("apiok"))
+        fast.append(call)
+        fast.append(BranchInst(call, self.exit_block, self.loop.header))
+        for inst in self.loop.header.instructions:
+            if isinstance(inst, PhiInst):
+                inst.add_incoming(inst.incoming_value_for(self.preheader),
+                                  fast)
 
         guard_call = CallInst(guard.callee, self.args, I1,
                               name=self.function.unique_name("apisafe"))

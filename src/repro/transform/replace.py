@@ -114,7 +114,9 @@ class Transformer:
         function = group[0].function
         analyses = FunctionAnalyses(function)
         builders = [_SiteBuilder(m, function, analyses, self.registry,
-                                 self.backends) for m in group]
+                                 self.backends,
+                                 quarantine=self.runtime.quarantine)
+                    for m in group]
         # Values produced by sibling idioms in the same loop are not
         # escapes — their out-of-loop uses get each sibling's call result.
         shared = [b.expected_result() for b in builders]
@@ -160,11 +162,12 @@ class _SiteBuilder:
 
     def __init__(self, match: IdiomMatch, function: Function,
                  analyses: FunctionAnalyses, registry: BackendRegistry,
-                 backends: list[str] | None):
+                 backends: list[str] | None, quarantine=None):
         self.match = match
         self.function = function
         self.registry = registry
         self.backends = backends
+        self.quarantine = quarantine
         self.region = Region(match, function, analyses)
         self.result_value: Value | None = None  # SSA value the call replaces
 
@@ -185,11 +188,16 @@ class _SiteBuilder:
         return None
 
     def _contract(self, category: str) -> LoweringContract:
-        """First registered contract the match satisfies."""
-        contracts = self.registry.contracts_for(category, self.backends)
+        """First registered, non-quarantined contract the match satisfies."""
+        contracts = self.registry.contracts_for(category, self.backends,
+                                                quarantine=self.quarantine)
         if not contracts:
             scope = "" if self.backends is None else \
                 f" with backends limited to {', '.join(self.backends)}"
+            if self.quarantine is not None and self.quarantine.quarantined():
+                scope += " (quarantined: " + ", ".join(
+                    f"{b}/{c}" for b, c in self.quarantine.quarantined()) \
+                    + ")"
             raise TransformError(
                 f"no registered backend lowers {category!r}{scope}")
         solution = self.match.solution
