@@ -10,7 +10,12 @@ function re-solves only that function (:mod:`.detection`, wired through
 :class:`repro.idioms.scheduler.DetectionSession`).
 """
 
-from .detection import CachedDetection, DetectionCache
+from .detection import (
+    CachedDetection,
+    DetectionCache,
+    decode_detection,
+    encode_detection,
+)
 from .fingerprint import (
     FINGERPRINT_VERSION,
     detection_config_signature,
@@ -18,11 +23,17 @@ from .fingerprint import (
     globals_signature,
     summary_fingerprint,
 )
-from .store import STORE_VERSION, ArtifactStore, StoreStats
+from .store import (
+    EVICTION_POLICIES,
+    STORE_VERSION,
+    ArtifactStore,
+    StoreStats,
+)
 
 __all__ = [
-    "ArtifactStore", "StoreStats", "STORE_VERSION",
+    "ArtifactStore", "StoreStats", "STORE_VERSION", "EVICTION_POLICIES",
     "CachedDetection", "DetectionCache",
+    "decode_detection", "encode_detection",
     "FINGERPRINT_VERSION", "detection_config_signature",
     "function_fingerprint", "globals_signature", "summary_fingerprint",
 ]

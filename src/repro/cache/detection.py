@@ -56,6 +56,58 @@ def _stats_from(payload_stats: dict, max_steps) -> SolverStats:
                        **{k: int(v) for k, v in payload_stats.items()})
 
 
+def encode_detection(function: Function, matches: list,
+                     stats: SolverStats) -> dict | None:
+    """One function's detection result in the store's payload schema
+    (also the cross-tenant dedupe wire format: a payload encoded against
+    one function decodes against any function with the same content
+    fingerprint). None when the result must not be replayed elsewhere —
+    a timed-out partial match list, or a solution binding values the
+    wire format cannot express."""
+    from ..idioms.scheduler import encode_solution
+
+    if stats.timed_out:
+        return None
+    pool: list = []
+    pool_index: dict[int, int] = {}
+    try:
+        encoded = []
+        for m in matches:
+            index = None
+            if m.stats is not None:
+                index = pool_index.get(id(m.stats))
+                if index is None:
+                    index = pool_index[id(m.stats)] = len(pool)
+                    pool.append((m.stats.as_dict(), m.stats.max_steps))
+            encoded.append((m.idiom,
+                            encode_solution(m.solution, function),
+                            index))
+    except IDLError:
+        return None
+    return {"kind": "detection", "function": function.name,
+            "matches": encoded, "stats_pool": pool,
+            "stats": stats.as_dict(), "max_steps": stats.max_steps}
+
+
+def decode_detection(payload: dict, function: Function,
+                     module: Module) -> CachedDetection:
+    """Rebind an :func:`encode_detection` payload against ``function``
+    in ``module``. Raises on a mis-shaped payload — callers classify
+    that as a corrupt entry (cache) or fall back to solving (dedupe)."""
+    from ..idioms.matches import IdiomMatch
+    from ..idioms.scheduler import decode_solution
+
+    stats = _stats_from(payload["stats"], payload["max_steps"])
+    pool = [_stats_from(blob, max_steps)
+            for blob, max_steps in payload["stats_pool"]]
+    matches = [
+        IdiomMatch(str(idiom), function,
+                   decode_solution(encoded, function, module),
+                   stats=None if index is None else pool[index])
+        for idiom, encoded, index in payload["matches"]]
+    return CachedDetection(matches, stats)
+
+
 class DetectionCache:
     """Store facade for one detector configuration."""
 
@@ -78,9 +130,6 @@ class DetectionCache:
 
         ``text`` is the precomputed canonical form (optional, avoids a
         re-print — the dominant warm-path cost)."""
-        from ..idioms.matches import IdiomMatch
-        from ..idioms.scheduler import decode_solution
-
         if globals_sig is None:
             globals_sig = globals_signature(module)
         key = self.function_key(function, globals_sig, text)
@@ -88,21 +137,13 @@ class DetectionCache:
         if payload is None or payload.get("kind") != "detection":
             return None
         try:
-            stats = _stats_from(payload["stats"], payload["max_steps"])
-            pool = [_stats_from(blob, max_steps)
-                    for blob, max_steps in payload["stats_pool"]]
-            matches = [
-                IdiomMatch(str(idiom), function,
-                           decode_solution(encoded, function, module),
-                           stats=None if index is None else pool[index])
-                for idiom, encoded, index in payload["matches"]]
+            return decode_detection(payload, function, module)
         except (IDLError, KeyError, IndexError, TypeError, ValueError):
             # A content-addressed entry should always decode against the
             # IR it was keyed on; if it does not, it is corrupt — drop it
             # and report a miss (never an error).
             self.store.invalidate(key)
             return None
-        return CachedDetection(matches, stats)
 
     def save(self, function: Function, matches: list, stats: SolverStats,
              summary: AnalysisSummary | dict | None = None,
@@ -114,24 +155,9 @@ class DetectionCache:
 
         Matches that cannot be expressed in the wire format make the
         whole function uncacheable (it will simply re-solve next time);
-        partial match lists must never be stored."""
-        from ..idioms.scheduler import encode_solution
-
-        pool: list = []
-        pool_index: dict[int, int] = {}
-        try:
-            encoded = []
-            for m in matches:
-                index = None
-                if m.stats is not None:
-                    index = pool_index.get(id(m.stats))
-                    if index is None:
-                        index = pool_index[id(m.stats)] = len(pool)
-                        pool.append((m.stats.as_dict(), m.stats.max_steps))
-                encoded.append((m.idiom,
-                                encode_solution(m.solution, function),
-                                index))
-        except IDLError:
+        partial (timed-out) match lists must never be stored."""
+        payload = encode_detection(function, matches, stats)
+        if payload is None:
             return False
         if summary is not None:
             if isinstance(summary, AnalysisSummary):
@@ -139,10 +165,7 @@ class DetectionCache:
             self.store.put(summary_fingerprint(function, text),
                            {"kind": "summary", "summary": summary})
         return self.store.put(
-            self.function_key(function, globals_sig, text),
-            {"kind": "detection", "function": function.name,
-             "matches": encoded, "stats_pool": pool,
-             "stats": stats.as_dict(), "max_steps": stats.max_steps})
+            self.function_key(function, globals_sig, text), payload)
 
     # -- analysis summaries ----------------------------------------------------
     def load_summary(self, function: Function,

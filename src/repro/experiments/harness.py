@@ -108,6 +108,21 @@ def default_engine() -> str:
     return DEFAULT_ENGINE
 
 
+def default_workers() -> int:
+    """``$REPRO_WORKERS`` if set to a positive integer, else 1 — the
+    ``--workers`` default, mirroring ``$REPRO_ENGINE``/``$REPRO_CACHE_DIR``
+    so CI matrices select a pool size without editing command lines."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            return 1
+        if value >= 1:
+            return value
+    return 1
+
+
 ENGINE = default_engine()
 SCALE = 1
 JIT_THRESHOLD: int | None = None
@@ -122,6 +137,10 @@ PLACEMENT = "beam"
 #: ``REPRO_CACHE_DIR`` environment variable supplies the default). None
 #: disables the persistent cache; reports are bit-identical either way.
 CACHE_DIR: str | None = None
+#: Shared store instance when ``--cache-stats`` is given: every workload
+#: detects through ONE ArtifactStore so hit/miss/eviction telemetry
+#: aggregates across the run instead of resetting per workload.
+CACHE_STORE = None
 
 #: Detection supervision (``--deadline`` / ``--max-retries``): a
 #: per-function solve wall-clock bound — overruns degrade to partial
@@ -153,7 +172,7 @@ def evaluate_workload(workload: Workload, scale: int | None = None,
         detect_mode=DETECT_MODE,
         ordering=DETECT_ORDERING,
         verify=False,
-        cache_dir=CACHE_DIR,
+        cache_dir=CACHE_STORE if CACHE_STORE is not None else CACHE_DIR,
         deadline_s=DEADLINE_S,
         max_retries=MAX_RETRIES)
     ev = WorkloadEvaluation(workload, compiled,
@@ -559,10 +578,27 @@ _EXPERIMENTS = {
 }
 
 
+def print_cache_stats() -> None:
+    """``--cache-stats``: the shared store's aggregate telemetry."""
+    if CACHE_STORE is None:
+        print("\nArtifact store: disabled (no cache directory)")
+        return
+    stats = CACHE_STORE.stats.as_dict()
+    print(f"\nArtifact store ({CACHE_STORE.root}):")
+    print(f"  hits={stats['hits']} misses={stats['misses']} "
+          f"writes={stats['writes']} evictions={stats['evictions']}")
+    print(f"  bytes={CACHE_STORE.total_bytes()}"
+          + (f" budget={CACHE_STORE.budget_bytes}"
+             f" policy={CACHE_STORE.eviction}"
+             if CACHE_STORE.budget_bytes is not None else "")
+          + f" corrupt={stats['corrupt']} "
+            f"write_errors={stats['write_errors']}")
+
+
 def main(argv: list[str] | None = None) -> int:
     global DETECT_WORKERS, DETECT_MODE, DETECT_ORDERING, ENGINE, SCALE, \
-        JIT_THRESHOLD, BACKENDS, PLACEMENT, CACHE_DIR, DEADLINE_S, \
-        MAX_RETRIES
+        JIT_THRESHOLD, BACKENDS, PLACEMENT, CACHE_DIR, CACHE_STORE, \
+        DEADLINE_S, MAX_RETRIES
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -572,8 +608,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--list", action="store_true",
                         help="print available workloads, engines, backends "
                              "and placement strategies, then exit")
-    parser.add_argument("--workers", type=int, default=1,
-                        help="detection worker pool size (default 1)")
+    parser.add_argument("--workers", type=int, default=default_workers(),
+                        help="detection worker pool size (default "
+                             f"{default_workers()}, override with "
+                             "$REPRO_WORKERS)")
     parser.add_argument("--detect-mode", choices=["thread", "process"],
                         default="thread",
                         help="worker pool flavour for detection")
@@ -617,6 +655,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the artifact cache even if "
                              "$REPRO_CACHE_DIR is set")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print aggregate artifact-store telemetry "
+                             "(hits, misses, bytes, evictions) after the "
+                             "experiments; requires a cache directory")
     parser.add_argument("--deadline", type=float, default=None,
                         metavar="SECONDS",
                         help="per-function detection solve deadline; "
@@ -661,11 +703,18 @@ def main(argv: list[str] | None = None) -> int:
     else:
         CACHE_DIR = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") \
             or None
+    CACHE_STORE = None
+    if args.cache_stats and CACHE_DIR is not None:
+        from ..cache import ArtifactStore
+
+        CACHE_STORE = ArtifactStore(CACHE_DIR)
     if args.experiment == "all":
         for fn in _EXPERIMENTS.values():
             fn()
     else:
         _EXPERIMENTS[args.experiment]()
+    if args.cache_stats:
+        print_cache_stats()
     return 0
 
 

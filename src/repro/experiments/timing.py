@@ -9,6 +9,9 @@ here once so the measurement discipline stays uniform:
 * :func:`timed` — one measured run, for costs that must not be repeated
   (e.g. a pass that mutates its input).
 * :func:`geomean` — the geometric mean used for suite-level speedups.
+* :func:`percentile` / :func:`summarize_latencies` — the latency
+  summaries (p50/p95/p99) the service benchmark and the daemon's stats
+  endpoint report.
 """
 
 from __future__ import annotations
@@ -44,3 +47,35 @@ def geomean(values) -> float:
     if not values:
         return 0.0
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percentile(values, p: float) -> float:
+    """The ``p``-th percentile (0..100) by linear interpolation between
+    order statistics (the numpy default), 0.0 for an empty sequence."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * (p / 100.0)
+    low = int(math.floor(rank))
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low]) * (1.0 - frac) + float(ordered[high]) * frac
+
+
+def summarize_latencies(values) -> dict:
+    """``{count, mean_s, p50_s, p95_s, p99_s, max_s}`` for a sequence of
+    per-request latencies in seconds (zeros for an empty sequence)."""
+    values = [float(v) for v in values]
+    if not values:
+        return {"count": 0, "mean_s": 0.0, "p50_s": 0.0,
+                "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0}
+    return {
+        "count": len(values),
+        "mean_s": sum(values) / len(values),
+        "p50_s": percentile(values, 50.0),
+        "p95_s": percentile(values, 95.0),
+        "p99_s": percentile(values, 99.0),
+        "max_s": max(values),
+    }

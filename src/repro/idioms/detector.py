@@ -133,6 +133,16 @@ class IdiomDetector:
     def max_solutions(self) -> int:
         return self.limits.max_solutions
 
+    def warmup(self) -> "IdiomDetector":
+        """Eagerly compile every idiom's lowered form and plan (and, in
+        forest ordering, the fused plan forest) so the first request
+        pays no compile cost — the resident-daemon startup step. The
+        compiler caches make this idempotent; repeated detects through
+        a warmed detector never rebuild the forest. Returns self."""
+        self.compiler.prepare(self.idioms, memo=self.memo,
+                              forest=self.ordering == "forest")
+        return self
+
     # -- public API ---------------------------------------------------------------
     def detect(self, module: Module, workers: int = 1,
                mode: str = "thread",

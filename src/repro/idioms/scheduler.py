@@ -44,7 +44,8 @@ run's: same matches, same order, same aggregated stats.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
 
 from ..analysis.info import FunctionAnalyses
 from ..errors import IDLError
@@ -62,6 +63,77 @@ from ..reliability.supervisor import (
     Supervisor,
 )
 from .matches import DetectionReport, IdiomMatch
+
+
+class InflightLedger:
+    """Cross-request in-flight dedupe for concurrent detection sessions.
+
+    The serving layer's second dedupe tier (the first is the store): when
+    two tenants submit the same function while the first solve is still
+    running, the second session must *await the first's future*, not
+    re-solve. The ledger maps a function's content fingerprint to a
+    future resolving to its :func:`~repro.cache.detection.encode_detection`
+    payload — structural, so any session can decode it against its own
+    module's IR objects.
+
+    Protocol: :meth:`claim` returns ``(is_owner, future)``. The owner
+    solves and must :meth:`publish` the payload (or None when the result
+    cannot be replayed — waiters then solve locally); publishing pops the
+    key, so the in-flight window is exactly the solve's duration and the
+    store takes over afterwards. ``publish`` is idempotent per claim,
+    letting owners publish None from a ``finally`` as a no-deadlock
+    backstop."""
+
+    def __init__(self, wait_s: float = 120.0):
+        #: How long a waiter blocks on an owner before giving up and
+        #: solving locally (a safety valve, not a correctness knob).
+        self.wait_s = wait_s
+        self._lock = threading.Lock()
+        self._futures: dict[str, Future] = {}
+
+    def claim(self, key: str) -> tuple[bool, Future]:
+        with self._lock:
+            future = self._futures.get(key)
+            if future is not None:
+                return False, future
+            future = Future()
+            self._futures[key] = future
+            return True, future
+
+    def publish(self, key: str, payload: dict | None) -> None:
+        with self._lock:
+            future = self._futures.pop(key, None)
+        if future is not None:
+            future.set_result(payload)
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._futures)
+
+
+class _Job:
+    """One function of one module inside a cross-module fan-out.
+
+    ``uid`` doubles as the supervisor-facing ``name`` — function names
+    collide across tenants' modules, so supervisor bookkeeping (and the
+    session's ``analyses`` map) key on the module-qualified uid."""
+
+    __slots__ = ("uid", "function", "module", "index", "text",
+                 "globals_sig", "key")
+
+    def __init__(self, uid, function, module, index, text, globals_sig,
+                 key):
+        self.uid = uid
+        self.function = function
+        self.module = module
+        self.index = index
+        self.text = text
+        self.globals_sig = globals_sig
+        self.key = key
+
+    @property
+    def name(self) -> str:
+        return self.uid
 
 
 class DetectionSession:
@@ -105,6 +177,12 @@ class DetectionSession:
         #: all-functions without a cache).
         self.cache_hits = 0
         self.cache_misses = 0
+        #: detect_many() dedupe accounting: functions replayed from an
+        #: identical function solved in the same fan-out / from another
+        #: session's in-flight future, and functions actually solved.
+        self.dedupe_hits = 0
+        self.inflight_hits = 0
+        self.solved_functions = 0
         self._globals_sig: str | None = None
         #: Canonical text per function name, printed once per detect()
         #: call and shared by every fingerprint derived from it.
@@ -117,6 +195,7 @@ class DetectionSession:
         report = DetectionReport(module.name)
         self.analyses = {}
         self.cache_hits = self.cache_misses = 0
+        self.dedupe_hits = self.inflight_hits = self.solved_functions = 0
         self._globals_sig = None
         self.outcomes = SessionOutcomes()
         report.outcomes = self.outcomes
@@ -143,7 +222,7 @@ class DetectionSession:
             self.cache_hits = len(warm)
         else:
             cold = functions
-        self.cache_misses = len(cold)
+        self.cache_misses = self.solved_functions = len(cold)
         for name in warm:
             self.outcomes.record(
                 FunctionOutcome(name, "cache-hit", "cache", attempts=0))
@@ -197,6 +276,186 @@ class DetectionSession:
             report.stats.merge(stats)
         return report
 
+    def detect_many(self, modules, dedupe: bool = True,
+                    inflight: InflightLedger | None = None
+                    ) -> list[DetectionReport]:
+        """Detect across several modules in ONE supervised fan-out — the
+        serving layer's micro-batch unit.
+
+        All modules' cold functions are batched into a single worker-pool
+        run (process batches stay module-homogeneous; uids disambiguate
+        colliding function names). Three dedupe tiers serve a function
+        without solving it, every one replaying the same structural wire
+        format so each module's report still references its own IR
+        objects:
+
+        1. the artifact store (when the detector carries a cache),
+        2. ``dedupe=True``: identical functions *within this fan-out* —
+           one representative per content fingerprint is solved, the
+           rest decode its encoded result (cross-tenant overlap),
+        3. ``inflight``: fingerprints another session is solving right
+           now — this session awaits that future instead of re-solving.
+
+        Results that cannot be replayed (timed-out partials, unencodable
+        bindings) fall back to a local solve, so dedupe can degrade but
+        never change a report. Per-module reports are merged in module
+        order and are bit-identical to per-module :meth:`detect` calls.
+        """
+        from ..cache.detection import decode_detection, encode_detection
+        from ..cache.fingerprint import (
+            function_fingerprint,
+            globals_signature,
+        )
+        from ..ir.printer import print_function_canonical
+
+        modules = list(modules)
+        self.analyses = {}
+        self.cache_hits = self.cache_misses = 0
+        self.dedupe_hits = self.inflight_hits = self.solved_functions = 0
+        self.outcomes = SessionOutcomes()
+        cache = self.detector.cache
+        config_sig = self.detector.config_signature()
+
+        results: dict[str, tuple] = {}  # uid -> (matches, stats)
+        jobs_by_module: list[list[_Job]] = []
+        cold: list[_Job] = []
+        for index, module in enumerate(modules):
+            globals_sig = globals_signature(module)
+            module_jobs: list[_Job] = []
+            for function in module.functions.values():
+                if function.is_declaration():
+                    continue
+                text = print_function_canonical(function)
+                key = function_fingerprint(function, config_sig,
+                                           globals_sig, text)
+                job = _Job(f"m{index}:{function.name}", function, module,
+                           index, text, globals_sig, key)
+                module_jobs.append(job)
+                entry = cache.load(function, module, globals_sig, text) \
+                    if cache is not None else None
+                if entry is not None:
+                    results[job.uid] = (entry.matches, entry.stats)
+                    self.outcomes.record(FunctionOutcome(
+                        job.uid, "cache-hit", "cache", attempts=0))
+                else:
+                    cold.append(job)
+            jobs_by_module.append(module_jobs)
+        self.cache_hits = len(results)
+        self.cache_misses = len(cold)
+
+        # Tier 2/3 grouping: one group per content fingerprint. Without
+        # dedupe every job is its own group (the "!" prefix keeps two
+        # identical functions apart and out of any shared ledger key).
+        groups: dict[str, list[_Job]] = {}
+        for position, job in enumerate(cold):
+            group_key = job.key if dedupe else f"!{position}:{job.key}"
+            groups.setdefault(group_key, []).append(job)
+        owned: set[str] = set()
+        waiting: dict[str, Future] = {}
+        if inflight is not None and dedupe:
+            for group_key in groups:
+                is_owner, future = inflight.claim(group_key)
+                if is_owner:
+                    owned.add(group_key)
+                else:
+                    waiting[group_key] = future
+        scheduled = [group[0] for group_key, group in groups.items()
+                     if group_key not in waiting]
+
+        solved: dict[str, tuple] = {}  # uid -> (matches, stats, summary)
+        try:
+            if scheduled:
+                self.detector.compiler.prepare(
+                    self.detector.idioms, memo=self.detector.memo,
+                    forest=self.detector.ordering == "forest")
+                mode = "serial" if self.workers <= 1 else self.mode
+                supervisor = Supervisor(self.policy, self.outcomes,
+                                        mode=mode, workers=self.workers)
+                kwargs = self._job_callbacks(scheduled) \
+                    if mode == "process" else {}
+                rows = supervisor.run(scheduled, self._solve_job,
+                                      self._job_batches, **kwargs)
+                for uid, matches, stats, summary in rows.values():
+                    solved[uid] = (matches, stats, summary)
+                self._record_outcomes(scheduled, solved, supervisor)
+                self.solved_functions += len(scheduled)
+
+            for group_key, group in groups.items():
+                if group_key in waiting:
+                    continue
+                representative = group[0]
+                matches, stats, summary = solved[representative.uid]
+                results[representative.uid] = (matches, stats)
+                if cache is not None and not stats.timed_out:
+                    cache.save(representative.function, matches, stats,
+                               summary, representative.globals_sig,
+                               text=representative.text)
+                payload = None
+                if len(group) > 1 or group_key in owned:
+                    payload = encode_detection(representative.function,
+                                               matches, stats)
+                if group_key in owned:
+                    inflight.publish(group_key, payload)
+                for duplicate in group[1:]:
+                    self._serve_job(duplicate, payload, results,
+                                    "dedupe-hit")
+        finally:
+            if inflight is not None:
+                # Backstop: resolve any future this session still owns
+                # (solve failed before publishing) so waiters elsewhere
+                # fall back to their own solve instead of deadlocking.
+                for group_key in owned:
+                    inflight.publish(group_key, None)
+
+        for group_key, future in waiting.items():
+            try:
+                payload = future.result(timeout=inflight.wait_s)
+            except Exception:
+                payload = None
+            for job in groups[group_key]:
+                self._serve_job(job, payload, results, "inflight-hit")
+
+        reports = []
+        for module, module_jobs in zip(modules, jobs_by_module):
+            report = DetectionReport(module.name)
+            report.outcomes = self.outcomes
+            for job in module_jobs:
+                matches, stats = results[job.uid]
+                report.matches.extend(matches)
+                report.stats.merge(stats)
+            reports.append(report)
+        return reports
+
+    def _serve_job(self, job: _Job, payload: dict | None,
+                   results: dict, status: str) -> None:
+        """Serve one deduped job from an encoded payload, falling back
+        to a local serial solve (recorded, cached) when the payload is
+        missing or does not decode."""
+        from ..cache.detection import decode_detection
+
+        if payload is not None:
+            try:
+                entry = decode_detection(payload, job.function, job.module)
+            except (IDLError, KeyError, IndexError, TypeError, ValueError):
+                entry = None
+            if entry is not None:
+                results[job.uid] = (entry.matches, entry.stats)
+                if status == "inflight-hit":
+                    self.inflight_hits += 1
+                else:
+                    self.dedupe_hits += 1
+                self.outcomes.record(FunctionOutcome(
+                    job.uid, status, "dedupe", attempts=0))
+                return
+        uid, matches, stats, summary = self._solve_job(job)
+        results[uid] = (matches, stats)
+        self.solved_functions += 1
+        cache = self.detector.cache
+        if cache is not None and not stats.timed_out:
+            cache.save(job.function, matches, stats, summary,
+                       job.globals_sig, text=job.text)
+        self.outcomes.record(FunctionOutcome(uid, "ok", "serial"))
+
     # -- solving primitives -------------------------------------------------------
     def _solve_one(self, function: Function, epoch: int = 0) -> tuple:
         """Solve one function in-process (the serial/thread-tier unit)."""
@@ -228,6 +487,87 @@ class DetectionSession:
             size = max(1, -(-len(functions) // (self.workers * 4)))
         return [functions[i:i + size]
                 for i in range(0, len(functions), size)]
+
+    def _solve_job(self, job: _Job, epoch: int = 0) -> tuple:
+        """Solve one cross-module job in-process (detect_many's
+        serial/thread-tier unit; rows are keyed by uid, not name)."""
+        function = job.function
+        faults.maybe_fire("worker.solve", function.name)
+        cache = self.detector.cache
+        analyses = FunctionAnalyses(function)
+        adopted = False
+        if cache is not None:
+            summary = cache.load_summary(function, job.text)
+            if summary is not None:
+                analyses.adopt_summary(summary)
+                adopted = True
+        self.analyses[job.uid] = analyses
+        matches, stats = self.detector.detect_function_with_stats(
+            function, analyses, deadline_s=self.policy.deadline_s)
+        return (job.uid, matches, stats,
+                None if adopted or cache is None else analyses.summary())
+
+    def _job_batches(self, jobs: list[_Job]) -> list[list[_Job]]:
+        """detect_many's load-balancing split. Batches never mix modules
+        — the process tier ships one module's textual IR per batch."""
+        by_module: dict[int, list[_Job]] = {}
+        for job in jobs:
+            by_module.setdefault(job.index, []).append(job)
+        size = self.batch_size
+        if size is None:
+            size = max(1, -(-len(jobs) // (self.workers * 4)))
+        batches: list[list[_Job]] = []
+        for group in by_module.values():
+            batches.extend(group[i:i + size]
+                           for i in range(0, len(group), size))
+        return batches
+
+    def _job_callbacks(self, jobs: list[_Job]) -> dict:
+        """Process-tier callbacks for a cross-module fan-out: each batch
+        ships its own module's wire text plus the jobs' uids, which the
+        worker echoes back so rows decode against the right module even
+        when tenants' function names collide."""
+        detector = self.detector
+        texts: dict[int, str] = {}
+        for job in jobs:
+            if job.index not in texts:
+                texts[job.index] = print_module(job.module)
+        by_uid = {job.uid: job for job in jobs}
+        config = (tuple(detector.idioms),
+                  detector.limits.max_solutions, detector.limits.max_steps,
+                  detector.ordering, detector.memo, detector.indexed)
+        deadline_s = self.policy.deadline_s
+        plan = faults.active_plan()
+        plan_spec = plan.as_spec() if plan is not None else None
+
+        def process_pool(workers: int, epoch: int):
+            return ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init,
+                initargs=(plan_spec, epoch))
+
+        def process_submit(pool, batch, epoch):
+            tags = [job.uid for job in batch]
+            inner = (texts[batch[0].index],
+                     [job.function.name for job in batch],
+                     config, deadline_s)
+            return pool.submit(_process_batch_tagged, (tags, inner))
+
+        def process_decode(raw) -> list[tuple]:
+            rows = []
+            for uid, enc_matches, stats, summary in raw:
+                job = by_uid[uid]
+                matches = [
+                    IdiomMatch(idiom, job.function,
+                               decode_solution(enc_sol, job.function,
+                                               job.module),
+                               stats=match_stats)
+                    for idiom, enc_sol, match_stats in enc_matches]
+                rows.append((uid, matches, stats, summary))
+            return rows
+
+        return {"process_pool": process_pool,
+                "process_submit": process_submit,
+                "process_decode": process_decode}
 
     def _record_outcomes(self, cold, solved, supervisor) -> None:
         for function in cold:
@@ -373,14 +713,26 @@ def _worker_detector(config: tuple):
     return detector
 
 
-def _worker_module(ir_text: str) -> Module:
+#: Parsed modules a pool worker keeps resident. One slot was enough when
+#: every session spanned one module; detect_many interleaves batches from
+#: several tenants' modules through one pool, and re-parsing on every
+#: module switch would forfeit the residency the service exists for.
+_WORKER_MODULES_MAX = 8
+
+
+def _worker_module(ir_text: str) -> tuple:
+    """(module, analyses dict) for one wire text, LRU-cached per worker."""
     from ..ir.parser import parse_module
 
-    if _WORKER_CACHE.get("module_text") != ir_text:
-        _WORKER_CACHE["module_text"] = ir_text
-        _WORKER_CACHE["module"] = parse_module(ir_text)
-        _WORKER_CACHE["analyses"] = {}
-    return _WORKER_CACHE["module"]
+    modules: dict[str, tuple] = _WORKER_CACHE.setdefault("modules", {})
+    entry = modules.get(ir_text)
+    if entry is None:
+        while len(modules) >= _WORKER_MODULES_MAX:
+            modules.pop(next(iter(modules)))
+        entry = modules[ir_text] = (parse_module(ir_text), {})
+    else:
+        modules[ir_text] = modules.pop(ir_text)  # refresh recency
+    return entry
 
 
 def _process_batch(payload: tuple) -> list[tuple]:
@@ -392,8 +744,7 @@ def _process_batch(payload: tuple) -> list[tuple]:
     the matches."""
     ir_text, fnames, config, deadline_s = payload
     detector = _worker_detector(config)
-    module = _worker_module(ir_text)
-    analyses_cache: dict[str, FunctionAnalyses] = _WORKER_CACHE["analyses"]
+    module, analyses_cache = _worker_module(ir_text)
     out = []
     for fname in fnames:
         faults.maybe_fire("worker.solve", fname)
@@ -409,3 +760,13 @@ def _process_batch(payload: tuple) -> list[tuple]:
         out.append((fname, enc_matches, stats,
                     analyses.summary().as_dict()))
     return out
+
+
+def _process_batch_tagged(payload: tuple) -> list[tuple]:
+    """detect_many's process unit: :func:`_process_batch` with
+    caller-chosen row tags (module-qualified uids) echoed back in place
+    of function names, so one fan-out can span modules whose function
+    names collide."""
+    tags, inner = payload
+    rows = _process_batch(inner)
+    return [(tag,) + row[1:] for tag, row in zip(tags, rows)]

@@ -107,7 +107,7 @@ def compile_workload(name: str, source: str, workers: int = 1,
                      detect_mode: str = "thread",
                      ordering: str = "forest",
                      verify: bool = True,
-                     cache_dir: str | None = None,
+                     cache_dir=None,
                      deadline_s: float | None = None,
                      max_retries: int = 2) -> CompiledWorkload:
     """Compile and detect, recording wall-clock for Table 2.
@@ -117,9 +117,10 @@ def compile_workload(name: str, source: str, workers: int = 1,
     forest by default); the report is identical regardless
     (deterministic merge, bit-identical match sets). ``verify=False``
     skips post-convergence IR verification — the experiment harness's
-    hot path; tests keep it on. ``cache_dir`` enables the persistent
-    artifact cache (:mod:`repro.cache`): unchanged functions are served
-    from disk with the report still bit-identical to a cold run.
+    hot path; tests keep it on. ``cache_dir`` (a directory path, or a shared
+    :class:`~repro.cache.ArtifactStore` for aggregate telemetry) enables
+    the persistent artifact cache (:mod:`repro.cache`): unchanged
+    functions are served from disk with the report still bit-identical to a cold run.
     ``deadline_s``/``max_retries`` configure detection supervision: a
     per-function solve wall-clock bound (overruns become partial
     results, flagged in ``report.outcomes``) and the retry budget for

@@ -1,0 +1,28 @@
+"""Detection-as-a-service: a resident multi-tenant detection daemon.
+
+The serving layer above the detection pipeline: a warmed detector,
+LRU-governed artifact store, parse cache and in-flight ledger stay
+resident in one process (:mod:`.core`) while concurrent tenants submit
+modules; requests arriving together are micro-batched into single
+:meth:`~repro.idioms.scheduler.DetectionSession.detect_many` fan-outs
+with cross-tenant dedupe. :mod:`.daemon` exposes the service over a
+line-delimited-JSON TCP protocol (stdlib only) with reports shipped in
+the structural wire format (:mod:`.wire`); ``python -m repro.service``
+is the CLI (:mod:`.__main__`).
+"""
+
+from .core import DetectionService, ServiceConfig, ServiceResult
+from .daemon import DetectionDaemon, ServiceClient
+from .wire import (
+    WIRE_VERSION,
+    decode_report,
+    encode_report,
+    report_wire_fingerprint,
+)
+
+__all__ = [
+    "DetectionService", "ServiceConfig", "ServiceResult",
+    "DetectionDaemon", "ServiceClient",
+    "WIRE_VERSION", "decode_report", "encode_report",
+    "report_wire_fingerprint",
+]

@@ -1,0 +1,340 @@
+"""Detection-as-a-service: the resident, multi-tenant in-process core.
+
+:class:`DetectionService` keeps everything expensive resident across
+requests — the warmed :class:`~repro.idioms.IdiomDetector` (compiled
+idiom forest, lowered plans), a shared :class:`~repro.cache.ArtifactStore`
+under an LRU byte budget, a parse cache mapping IR-text digests to
+shared :class:`~repro.ir.module.Module` objects, and an
+:class:`~repro.idioms.InflightLedger` for cross-batch in-flight dedupe —
+then serves concurrent :meth:`submit` calls from many tenants.
+
+Requests arriving within ``batch_window_s`` of each other are
+micro-batched: a batcher thread drains the queue into one
+:meth:`~repro.idioms.scheduler.DetectionSession.detect_many` fan-out per
+batch, so ten tenants editing the same popular library produce one solve
+plus nine structural replays rather than ten solves. Dispatcher threads
+run batches concurrently, so one slow batch never blocks the window for
+the next.
+
+The daemon (:mod:`.daemon`) is a thin socket skin over this class; tests
+and the benchmark drive it directly with no networking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..cache import EVICTION_POLICIES, ArtifactStore
+from ..errors import IDLError
+from ..idioms import IdiomDetector, InflightLedger
+from ..idioms.matches import DetectionReport
+from ..idioms.scheduler import DetectionSession
+from ..ir.module import Module
+from ..ir.parser import parse_module
+from ..experiments.timing import summarize_latencies
+
+
+@dataclass
+class ServiceConfig:
+    """Every knob of a resident detection service, in one place.
+
+    ``workers``/``mode``/``deadline_s``/``max_retries`` configure each
+    batch's :class:`~repro.idioms.scheduler.DetectionSession`;
+    ``ordering`` the resident detector; ``cache_dir``/``budget_bytes``/
+    ``eviction``/``durable`` the shared artifact store;
+    ``batch_window_s``/``max_batch``/``dispatchers`` the micro-batcher.
+    """
+
+    workers: int = 1
+    mode: str = "thread"
+    ordering: str = "forest"
+    cache_dir: str | None = None
+    budget_bytes: int | None = None
+    eviction: str = "lru"
+    durable: bool = False
+    #: How long the batcher waits for co-travellers after the first
+    #: request of a batch arrives. A couple of milliseconds is enough to
+    #: capture concurrent tenants without a visible latency tax.
+    batch_window_s: float = 0.002
+    max_batch: int = 32
+    #: Concurrent batch executors. Two keeps the window responsive while
+    #: a large batch is still solving.
+    dispatchers: int = 2
+    deadline_s: float | None = None
+    max_retries: int = 2
+    #: Distinct module texts kept parsed in memory (LRU).
+    parse_cache_entries: int = 64
+    #: Most recent per-request latencies retained for the stats endpoint.
+    latency_window: int = 2048
+
+    def __post_init__(self):
+        if self.mode not in ("thread", "process"):
+            raise IDLError(f"unknown detection mode {self.mode!r}")
+        if self.eviction not in EVICTION_POLICIES:
+            raise IDLError(f"unknown eviction policy {self.eviction!r}")
+        if self.max_batch < 1:
+            raise IDLError("max_batch must be >= 1")
+        if self.dispatchers < 1:
+            raise IDLError("dispatchers must be >= 1")
+
+
+@dataclass
+class ServiceResult:
+    """One request's answer: the report, the (shared) parsed module it
+    references, which tenant asked, and the request's wall-clock from
+    submit to report (queueing + batching window included)."""
+
+    report: DetectionReport
+    module: Module
+    tenant: str
+    latency_s: float
+
+
+class _Request:
+    __slots__ = ("module", "tenant", "future", "t_submit")
+
+    def __init__(self, module, tenant):
+        self.module = module
+        self.tenant = tenant
+        self.future: Future = Future()
+        self.t_submit = time.perf_counter()
+
+
+class DetectionService:
+    """The resident multi-tenant detection facade (see module docstring).
+
+    Thread-safe; :meth:`submit` may be called from any number of tenant
+    threads. Use as a context manager or call :meth:`close`."""
+
+    def __init__(self, config: ServiceConfig | None = None,
+                 store: ArtifactStore | None = None):
+        self.config = config or ServiceConfig()
+        if store is None and self.config.cache_dir is not None:
+            store = ArtifactStore(self.config.cache_dir,
+                                  durable=self.config.durable,
+                                  budget_bytes=self.config.budget_bytes,
+                                  eviction=self.config.eviction)
+        self.store = store
+        self.detector = IdiomDetector(ordering=self.config.ordering,
+                                      cache=store)
+        self.ledger = InflightLedger()
+        self.warmup_s = 0.0
+        self._lock = threading.Lock()
+        self._queue_cond = threading.Condition(self._lock)
+        self._queue: list[_Request] = []
+        self._parse_cache: OrderedDict[str, Module] = OrderedDict()
+        self._latencies = deque(maxlen=self.config.latency_window)
+        self._batcher: threading.Thread | None = None
+        self._dispatchers: ThreadPoolExecutor | None = None
+        self._started = False
+        self._closed = False
+        self._t_start = time.monotonic()
+        # Aggregate counters (under self._lock).
+        self._requests = 0
+        self._batches = 0
+        self._module_dedupe_hits = 0
+        self._functions_requested = 0
+        self._store_hits = 0
+        self._solved_functions = 0
+        self._batch_dedupe_hits = 0
+        self._inflight_hits = 0
+        self._errors = 0
+        self._parse_hits = 0
+        self._parse_misses = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> "DetectionService":
+        """Warm the detector (compile the idiom forest) and start the
+        batcher/dispatcher threads. Idempotent; :meth:`submit` calls it
+        on first use, but a daemon should call it eagerly so the first
+        request pays no compile cost."""
+        with self._lock:
+            if self._started:
+                return self
+            if self._closed:
+                raise IDLError("service is closed")
+            self._started = True
+        t0 = time.perf_counter()
+        self.detector.warmup()
+        self.warmup_s = time.perf_counter() - t0
+        self._dispatchers = ThreadPoolExecutor(
+            max_workers=self.config.dispatchers,
+            thread_name_prefix="repro-service")
+        self._batcher = threading.Thread(target=self._batch_loop,
+                                         name="repro-service-batcher",
+                                         daemon=True)
+        self._batcher.start()
+        return self
+
+    def close(self):
+        """Drain queued requests, stop the threads, release the pools.
+        Idempotent. Requests submitted after close are refused."""
+        with self._queue_cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue_cond.notify_all()
+        if self._batcher is not None:
+            self._batcher.join(timeout=60.0)
+        if self._dispatchers is not None:
+            self._dispatchers.shutdown(wait=True)
+
+    def __enter__(self) -> "DetectionService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- public API ---------------------------------------------------------------
+    def submit(self, source, tenant: str = "default") -> Future:
+        """Enqueue one detection request; returns a future resolving to
+        a :class:`ServiceResult`. ``source`` is module IR text (parsed
+        once per distinct text, shared across tenants) or an
+        already-parsed :class:`~repro.ir.module.Module`."""
+        if not self._started:
+            self.start()
+        module = self._resolve_module(source)
+        request = _Request(module, tenant)
+        with self._queue_cond:
+            if self._closed:
+                raise IDLError("service is closed")
+            self._requests += 1
+            self._queue.append(request)
+            self._queue_cond.notify_all()
+        return request.future
+
+    def detect(self, source, tenant: str = "default",
+               timeout: float | None = None) -> ServiceResult:
+        """Synchronous convenience: submit and wait."""
+        return self.submit(source, tenant=tenant).result(timeout=timeout)
+
+    def stats(self) -> dict:
+        """The service's counters, latency summary and store telemetry —
+        the daemon's ``stats`` op returns exactly this."""
+        with self._lock:
+            served = (self._store_hits + self._batch_dedupe_hits +
+                      self._inflight_hits + self._module_dedupe_hits)
+            total = self._functions_requested
+            payload = {
+                "uptime_s": time.monotonic() - self._t_start,
+                "warmup_s": self.warmup_s,
+                "requests": self._requests,
+                "batches": self._batches,
+                "errors": self._errors,
+                "pending": len(self._queue),
+                "functions_requested": total,
+                "solved_functions": self._solved_functions,
+                "store_hits": self._store_hits,
+                "batch_dedupe_hits": self._batch_dedupe_hits,
+                "inflight_hits": self._inflight_hits,
+                "module_dedupe_hits": self._module_dedupe_hits,
+                "dedupe_ratio": served / total if total else 0.0,
+                "parse_cache": {"hits": self._parse_hits,
+                                "misses": self._parse_misses,
+                                "entries": len(self._parse_cache)},
+                "latency": summarize_latencies(self._latencies),
+            }
+        if self.store is not None:
+            payload["store"] = dict(self.store.stats.as_dict(),
+                                    total_bytes=self.store.total_bytes(),
+                                    budget_bytes=self.store.budget_bytes,
+                                    eviction=self.store.eviction)
+        return payload
+
+    # -- internals ----------------------------------------------------------------
+    def _resolve_module(self, source) -> Module:
+        if isinstance(source, Module):
+            return source
+        if not isinstance(source, str):
+            raise IDLError(
+                f"submit() takes IR text or a Module, "
+                f"got {type(source).__name__}")
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        with self._lock:
+            module = self._parse_cache.get(digest)
+            if module is not None:
+                self._parse_cache.move_to_end(digest)
+                self._parse_hits += 1
+                return module
+            self._parse_misses += 1
+        # Parse outside the lock (two threads may race to parse the same
+        # new text; the loser's parse is discarded — harmless, and it
+        # keeps parse time off the submit critical section).
+        module = parse_module(source, name=f"m-{digest[:12]}")
+        with self._lock:
+            module = self._parse_cache.setdefault(digest, module)
+            self._parse_cache.move_to_end(digest)
+            while len(self._parse_cache) > self.config.parse_cache_entries:
+                self._parse_cache.popitem(last=False)
+        return module
+
+    def _batch_loop(self):
+        config = self.config
+        while True:
+            with self._queue_cond:
+                while not self._queue and not self._closed:
+                    self._queue_cond.wait()
+                if not self._queue:
+                    return  # closed and drained
+                # Micro-batch window: the first request opens it; wait
+                # for co-travellers until it lapses or the batch fills.
+                deadline = time.monotonic() + config.batch_window_s
+                while len(self._queue) < config.max_batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or self._closed:
+                        break
+                    self._queue_cond.wait(timeout=remaining)
+                batch = self._queue[:config.max_batch]
+                del self._queue[:len(batch)]
+                self._batches += 1
+            self._dispatchers.submit(self._run_batch, batch)
+
+    def _run_batch(self, batch: list[_Request]):
+        try:
+            unique: list[Module] = []
+            index_of: dict[int, int] = {}
+            for request in batch:
+                if id(request.module) not in index_of:
+                    index_of[id(request.module)] = len(unique)
+                    unique.append(request.module)
+            session = DetectionSession(
+                self.detector, workers=self.config.workers,
+                mode=self.config.mode,
+                deadline_s=self.config.deadline_s,
+                max_retries=self.config.max_retries)
+            reports = session.detect_many(unique, inflight=self.ledger)
+            now = time.perf_counter()
+            per_module_functions = [
+                sum(1 for f in module.functions.values()
+                    if not f.is_declaration())
+                for module in unique]
+            with self._lock:
+                self._store_hits += session.cache_hits
+                self._solved_functions += session.solved_functions
+                self._batch_dedupe_hits += session.dedupe_hits
+                self._inflight_hits += session.inflight_hits
+                for request in batch:
+                    fcount = per_module_functions[
+                        index_of[id(request.module)]]
+                    self._functions_requested += fcount
+                self._module_dedupe_hits += sum(
+                    per_module_functions[index_of[id(r.module)]]
+                    for r in batch) - sum(per_module_functions)
+                self._latencies.extend(
+                    now - request.t_submit for request in batch)
+            for request in batch:
+                request.future.set_result(ServiceResult(
+                    reports[index_of[id(request.module)]],
+                    request.module, request.tenant,
+                    now - request.t_submit))
+        except BaseException as exc:
+            with self._lock:
+                self._errors += len(batch)
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)

@@ -1,0 +1,166 @@
+"""The detection daemon: a socket skin over :class:`DetectionService`.
+
+Protocol: line-delimited JSON over TCP. Each request line is an object
+with an ``op`` — ``detect`` (fields ``module``: IR text, optional
+``tenant``), ``stats``, ``ping``, ``shutdown`` — and each response line
+an object with ``ok``. A ``detect`` response carries the report in the
+structural wire format (:mod:`.wire`); the client rebinds it against its
+own parse of the submitted text, so daemon answers are bit-identical to
+local :func:`~repro.idioms.detect_idioms` runs.
+
+Only the stdlib is used (:mod:`socketserver` threading TCP server), so
+the daemon runs anywhere the repo does."""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+
+from ..errors import IDLError
+from ..ir.parser import parse_module
+from .core import DetectionService, ServiceConfig
+from .wire import decode_report, encode_report
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self):
+        for line in self.rfile:
+            line = line.strip()
+            if not line:
+                continue
+            request = None
+            try:
+                request = json.loads(line.decode("utf-8"))
+                if not isinstance(request, dict):
+                    raise IDLError("request must be a JSON object")
+                response = self.server.dispatch(request)
+            except Exception as exc:  # one bad request must not kill the
+                response = {"ok": False,  # connection, let alone the daemon
+                            "error": f"{type(exc).__name__}: {exc}"}
+            self.wfile.write(
+                (json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if isinstance(request, dict) and \
+                    request.get("op") == "shutdown":
+                return
+
+
+class DetectionDaemon(socketserver.ThreadingTCPServer):
+    """Serve a :class:`DetectionService` on a TCP port.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`address`). One handler thread per connection; all of them
+    funnel into the shared service, whose micro-batcher coalesces their
+    concurrent requests."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 config: ServiceConfig | None = None,
+                 service: DetectionService | None = None):
+        super().__init__((host, port), _Handler)
+        self.service = (service or DetectionService(config)).start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    def dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "stats":
+            return {"ok": True, "stats": self.service.stats()}
+        if op == "detect":
+            text = request.get("module")
+            if not isinstance(text, str):
+                raise IDLError("detect needs a 'module' IR-text field")
+            result = self.service.detect(
+                text, tenant=str(request.get("tenant", "default")))
+            return {"ok": True,
+                    "report": encode_report(result.report),
+                    "tenant": result.tenant,
+                    "latency_s": result.latency_s}
+        if op == "shutdown":
+            # shutdown() blocks until serve_forever() exits; calling it
+            # from this handler thread is safe (ThreadingTCPServer), but
+            # the response must go out first — hence the helper thread.
+            threading.Thread(target=self.shutdown, daemon=True).start()
+            return {"ok": True, "shutting_down": True}
+        raise IDLError(f"unknown op {op!r}")
+
+    def serve_in_thread(self) -> threading.Thread:
+        thread = threading.Thread(target=self.serve_forever,
+                                  name="repro-daemon", daemon=True)
+        thread.start()
+        return thread
+
+    def close(self):
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+
+
+class ServiceClient:
+    """A blocking line-protocol client for :class:`DetectionDaemon`.
+
+    One TCP connection, reused across requests; usable as a context
+    manager. :meth:`detect_report` returns a decoded
+    :class:`~repro.idioms.matches.DetectionReport` bound to the client's
+    own parse of the submitted text."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 120.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def request(self, payload: dict) -> dict:
+        self._sock.sendall(
+            (json.dumps(payload) + "\n").encode("utf-8"))
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        response = json.loads(line.decode("utf-8"))
+        if not response.get("ok"):
+            raise IDLError(
+                f"daemon error: {response.get('error', 'unknown')}")
+        return response
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def detect(self, ir_text: str, tenant: str = "default") -> dict:
+        """The raw response: ``report`` (wire payload), ``latency_s``."""
+        return self.request({"op": "detect", "module": ir_text,
+                             "tenant": tenant})
+
+    def detect_report(self, ir_text: str, tenant: str = "default",
+                      module=None):
+        """Round-trip convenience: submit text, decode the answer
+        against ``module`` (or a fresh local parse of the text)."""
+        response = self.detect(ir_text, tenant=tenant)
+        if module is None:
+            module = parse_module(ir_text)
+        return decode_report(response["report"], module)
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def close(self):
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,100 @@
+"""JSON wire format for whole detection reports.
+
+The daemon's line protocol ships reports as pure JSON: matches carry the
+scheduler's structural solution tokens (block/instruction indices,
+argument positions, global names, constant values) plus an identity-
+interned pool of per-match solver stats — the same discipline the
+artifact cache and process-mode workers use, lifted from one function to
+one report. A client that parses the module text it submitted can
+:func:`decode_report` the payload back into a
+:class:`~repro.idioms.matches.DetectionReport` whose matches reference
+its own IR objects, bit-identical (under the structural fingerprint) to
+a local :func:`~repro.idioms.detect_idioms` run — the property the
+service benchmark gates on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..idl.solver import SolverStats
+from ..idioms.matches import DetectionReport, IdiomMatch
+from ..idioms.scheduler import decode_solution, encode_solution
+from ..ir.module import Module
+
+#: Bump on any report payload schema change.
+WIRE_VERSION = 1
+
+
+def _stats_from(payload_stats: dict, max_steps) -> SolverStats:
+    return SolverStats(max_steps=int(max_steps),
+                       **{k: int(v) for k, v in payload_stats.items()})
+
+
+def encode_report(report: DetectionReport) -> dict:
+    """One report as a JSON-safe dict.
+
+    Per-match stats are pooled by object identity (forest-mode matches
+    of one function share one stats object; the round trip preserves
+    the sharing). Raises :class:`~repro.errors.IDLError` if a solution
+    binds a value the wire format cannot express."""
+    pool: list = []
+    pool_index: dict[int, int] = {}
+    matches = []
+    for m in report.matches:
+        index = None
+        if m.stats is not None:
+            index = pool_index.get(id(m.stats))
+            if index is None:
+                index = pool_index[id(m.stats)] = len(pool)
+                pool.append((m.stats.as_dict(), m.stats.max_steps))
+        matches.append((m.idiom, m.function.name,
+                        encode_solution(m.solution, m.function), index))
+    return {
+        "wire_version": WIRE_VERSION,
+        "module": report.module_name,
+        "matches": matches,
+        "stats_pool": pool,
+        "stats": report.stats.as_dict(),
+        "max_steps": report.stats.max_steps,
+        "total": report.total(),
+        "by_category": report.by_category(),
+        "outcomes": report.outcomes.as_dict()
+        if report.outcomes is not None else None,
+    }
+
+
+def report_wire_fingerprint(report: DetectionReport) -> str:
+    """Structural identity that survives re-parsing.
+
+    :func:`~repro.idioms.report_fingerprint` keys non-constant values by
+    object identity, which is exact within one parsed module but useless
+    across two parses of the same text (a daemon client vs a local run).
+    This digest keys every binding by its wire token — block/instruction
+    index, argument position, global name, constant value — so two
+    reports over *any* parses of the same module fingerprint equal iff
+    they contain the same matches with the same bindings. Per-match
+    bindings are sorted; match order is preserved."""
+    blob = [(m.idiom, m.function.name,
+             sorted(encode_solution(m.solution, m.function)))
+            for m in report.matches]
+    return hashlib.sha256(
+        json.dumps(blob, sort_keys=True).encode("utf-8")).hexdigest()
+
+
+def decode_report(payload: dict, module: Module) -> DetectionReport:
+    """Rebind an :func:`encode_report` payload against the caller's
+    parse of the module it was computed for. Raises on a mis-shaped
+    payload or a module that does not contain the referenced IR."""
+    report = DetectionReport(str(payload["module"]))
+    report.stats = _stats_from(payload["stats"], payload["max_steps"])
+    pool = [_stats_from(blob, max_steps)
+            for blob, max_steps in payload["stats_pool"]]
+    for idiom, fname, encoded, index in payload["matches"]:
+        function = module.functions[fname]
+        report.matches.append(
+            IdiomMatch(str(idiom), function,
+                       decode_solution(encoded, function, module),
+                       stats=None if index is None else pool[index]))
+    return report
