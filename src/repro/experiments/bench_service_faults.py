@@ -1,0 +1,619 @@
+"""Chaos matrix for the overload-safe detection service.
+
+Where :mod:`bench_service` measures the serving layer healthy,
+this benchmark attacks it — flooding tenants, overload storms, hung
+batches, expired deadlines, mid-stream daemon kills and injected
+connection drops — and gates on the robustness contract::
+
+    PYTHONPATH=src python -m repro.experiments.bench_service_faults \
+        --output BENCH_service_faults.json
+
+Stanzas:
+
+* **storm** — one flooding tenant async-blasts a stream of distinct
+  private modules while three well-behaved tenants run their normal
+  synchronous round-trips. Per-tenant p95 latency is measured solo
+  (same pre-warmed store, no flood) and under the storm. The fairness
+  gate: no well-behaved tenant's storm p95 exceeds ``3x`` its solo p95
+  (with a 50ms floor for scheduler noise), no tenant starves (every
+  request completes), and every report stays bit-identical.
+* **overload** — a tiny admission envelope (``max_pending=8``,
+  ``tenant_quota=4``) under deterministically hung batches
+  (``service.batch`` hang faults). The flood must shed with *typed*
+  :class:`~repro.service.ServiceOverloaded` errors carrying a positive
+  ``retry_after_s``; a second tenant must still get admitted mid-storm
+  (quotas protect the shared queue); an injected ``service.admit``
+  fault must not poison the service; every admitted request completes
+  bit-identically.
+* **deadline** — a ``service.batch`` hang longer than a request's
+  budget: pre-expired submits are rejected typed at admission, the
+  queued request expires typed while its batch hangs, and a deadline-
+  free request in the *same* batch completes bit-identically. A
+  generous-deadline request then exercises the budget-threading path
+  into the solver.
+* **restart** — a client streams requests at a daemon that is
+  :meth:`~repro.service.DetectionDaemon.kill`-ed mid-stream (live
+  connections dropped, no goodbye) and replaced on the same port. The
+  self-healing client must reconnect and finish the stream with every
+  report bit-identical (detect is idempotent; the shared store makes
+  the replacement daemon warm).
+* **conn-drop** — ``daemon.conn`` exception faults sever the TCP
+  connection on chosen requests; the client's retry loop must recover
+  every one.
+* **overhead** — the serving path with no fault plan vs an
+  installed-but-empty plan; the ``service.admit``/``service.batch``
+  seams must cost ≤ ``--max-ratio`` (default 1.03x) when armed but
+  idle.
+
+CI runs ``--check`` and fails on any broken gate. Identity violations
+raise inside the stanzas themselves, naming the tenant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+
+from ..errors import InjectedFault
+from ..idioms import IdiomDetector
+from ..ir.parser import parse_module
+from ..reliability import faults
+from ..reliability.faults import FaultPlan
+from ..service import (
+    DeadlineExpired,
+    DetectionDaemon,
+    DetectionService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceOverloaded,
+)
+from ..service.wire import report_wire_fingerprint
+from .bench_service import _edit
+from .suites import compile_suite
+from .timing import best_of, percentile
+
+#: Timing repetitions for the overhead stanza (--check raises it).
+REPEATS = 3
+
+#: Modules used by the traffic stanzas (the full suite would only
+#: stretch queue latencies without adding coverage).
+CORE_MODULES = 2
+
+#: Well-behaved tenants in the storm stanza, plus one flooder.
+FAIR_TENANTS = 3
+
+#: The fairness gate: storm p95 within this factor of solo p95 …
+FAIRNESS_FACTOR = 3.0
+#: … with this floor, so scheduler noise on sub-ms solo runs can't
+#: fail the gate spuriously.
+FAIRNESS_FLOOR_S = 0.05
+
+
+def _texts(workload_names: list[str] | None) -> list[str]:
+    from ..ir.printer import print_module
+
+    return [print_module(module)
+            for _, module in compile_suite(workload_names)]
+
+
+def _reference(texts: list[str]) -> dict[str, str]:
+    """text -> wire fingerprint of a direct, service-free detection."""
+    return {text: report_wire_fingerprint(
+        IdiomDetector().detect(parse_module(text))) for text in texts}
+
+
+def _verify(result, reference: dict[str, str], text: str,
+            stanza: str) -> None:
+    if report_wire_fingerprint(result.report) != reference[text]:
+        raise AssertionError(
+            f"{stanza}: tenant {result.tenant!r} got a report that "
+            f"diverges from direct detection")
+
+
+# ---------------------------------------------------------------------------
+# storm: per-tenant fairness under a flooding tenant
+# ---------------------------------------------------------------------------
+
+def run_storm(texts: list[str], reference: dict[str, str]) -> dict:
+    flood_texts = [_edit(texts[0], 100 + i) for i in range(12)]
+    rounds = 4
+    config = dict(batch_window_s=0.002, max_batch=8, dispatchers=1,
+                  max_pending=256, tenant_quota=64)
+
+    with tempfile.TemporaryDirectory(
+            prefix="repro-bench-storm-") as cache_dir:
+        # Pre-warm the store so both measurements time queueing and
+        # replay, not first-solve cost.
+        with DetectionService(ServiceConfig(cache_dir=cache_dir,
+                                            **config)) as service:
+            for text in texts + flood_texts:
+                service.detect(text, tenant="prewarm")
+
+        solo: dict[str, float] = {}
+        with DetectionService(ServiceConfig(cache_dir=cache_dir,
+                                            **config)) as service:
+            for t in range(FAIR_TENANTS):
+                tenant = f"tenant-{t}"
+                latencies = []
+                for _ in range(rounds):
+                    for text in texts:
+                        result = service.detect(text, tenant=tenant)
+                        _verify(result, reference, text, "storm/solo")
+                        latencies.append(result.latency_s)
+                solo[tenant] = percentile(latencies, 95)
+
+        storm: dict[str, float] = {}
+        completed: dict[str, int] = {}
+        flood_sheds = 0
+        with DetectionService(ServiceConfig(cache_dir=cache_dir,
+                                            **config)) as service:
+            stop_flood = threading.Event()
+            flood_futures = []
+
+            def flooder():
+                nonlocal flood_sheds
+                i = 0
+                while not stop_flood.is_set():
+                    try:
+                        flood_futures.append(service.submit(
+                            flood_texts[i % len(flood_texts)],
+                            tenant="flooder"))
+                    except ServiceOverloaded:
+                        flood_sheds += 1
+                        time.sleep(0.0005)
+                    i += 1
+
+            def well_behaved(tenant: str):
+                latencies = []
+                for _ in range(rounds):
+                    for text in texts:
+                        result = service.detect(text, tenant=tenant,
+                                                timeout=120.0)
+                        _verify(result, reference, text, "storm")
+                        latencies.append(result.latency_s)
+                storm[tenant] = percentile(latencies, 95)
+                completed[tenant] = len(latencies)
+
+            flood_thread = threading.Thread(target=flooder, daemon=True)
+            tenant_threads = [
+                threading.Thread(target=well_behaved,
+                                 args=(f"tenant-{t}",))
+                for t in range(FAIR_TENANTS)]
+            flood_thread.start()
+            for thread in tenant_threads:
+                thread.start()
+            for thread in tenant_threads:
+                thread.join(timeout=300.0)
+            stop_flood.set()
+            flood_thread.join(timeout=30.0)
+            for future in flood_futures:
+                future.result(timeout=300.0)
+            tenant_stats = service.stats()["tenants"]
+
+    expected = rounds * len(texts)
+    return {
+        "flood_requests": len(flood_futures),
+        "flood_sheds": flood_sheds,
+        "expected_per_tenant": expected,
+        "tenants": {
+            tenant: {
+                "completed": completed.get(tenant, 0),
+                "solo_p95_s": round(solo[tenant], 5),
+                "storm_p95_s": round(storm.get(tenant, float("inf")), 5),
+                "ratio": round(
+                    storm.get(tenant, float("inf"))
+                    / max(solo[tenant], 1e-9), 2),
+            } for tenant in solo},
+        "flooder_completed": tenant_stats["flooder"]["completed"],
+        "identical": True,  # divergence raises in _verify
+    }
+
+
+# ---------------------------------------------------------------------------
+# overload: typed sheds under a tiny admission envelope
+# ---------------------------------------------------------------------------
+
+def run_overload(texts: list[str], reference: dict[str, str]) -> dict:
+    text = texts[0]
+    config = ServiceConfig(max_pending=8, tenant_quota=4,
+                           batch_window_s=0.02, max_batch=2,
+                           dispatchers=1)
+    # Every batch hangs briefly, so the backlog is deterministic: the
+    # flood below outruns the drain no matter how fast solves are.
+    plan = faults.install_plan(FaultPlan([
+        {"site": "service.batch", "kind": "hang", "seconds": 0.05,
+         "at": tuple(range(64))},
+        {"site": "service.admit", "kind": "exception", "at": (3,)},
+    ]))
+    sheds = 0
+    untyped_sheds = 0
+    admit_faults = 0
+    futures = []
+    try:
+        with DetectionService(config) as service:
+            for _ in range(40):
+                try:
+                    futures.append(service.submit(text, tenant="flood"))
+                except ServiceOverloaded as exc:
+                    sheds += 1
+                    if not (exc.retry_after_s and exc.retry_after_s > 0):
+                        untyped_sheds += 1
+                except InjectedFault:
+                    admit_faults += 1
+            # Quotas must leave room for others mid-storm.
+            other = service.detect(text, tenant="other", timeout=120.0)
+            _verify(other, reference, text, "overload/other")
+            for future in futures:
+                _verify(future.result(timeout=120.0), reference, text,
+                        "overload")
+            stats = service.stats()
+    finally:
+        faults.install_plan(None)
+    return {
+        "submitted": 40,
+        "admitted": len(futures),
+        "sheds": sheds,
+        "sheds_missing_retry_after": untyped_sheds,
+        "admit_faults": admit_faults,
+        "batch_hangs": sum(1 for f in plan.fired
+                           if f["site"] == "service.batch"),
+        "service_sheds": stats["sheds"],
+        "other_tenant_admitted": True,
+        "identical": True,
+    }
+
+
+# ---------------------------------------------------------------------------
+# deadline: expiry at admission, in the queue, and budget threading
+# ---------------------------------------------------------------------------
+
+def run_deadline(texts: list[str], reference: dict[str, str]) -> dict:
+    text = texts[0]
+    config = ServiceConfig(batch_window_s=0.005, dispatchers=1)
+    faults.install_plan(FaultPlan([
+        {"site": "service.batch", "kind": "hang", "seconds": 0.12,
+         "at": (0,)},
+    ]))
+    row = {"pre_expired_typed": False, "queue_expired_typed": False,
+           "control_identical": False, "generous_identical": False}
+    try:
+        with DetectionService(config) as service:
+            try:
+                service.submit(text, tenant="late", deadline_s=-1.0)
+            except DeadlineExpired:
+                row["pre_expired_typed"] = True
+            # Same batch: one request whose 50ms budget the 120ms hang
+            # must blow, one with no deadline that must ride through.
+            doomed = service.submit(text, tenant="late", deadline_s=0.05)
+            control = service.submit(text, tenant="control")
+            try:
+                doomed.result(timeout=120.0)
+            except DeadlineExpired:
+                row["queue_expired_typed"] = True
+            _verify(control.result(timeout=120.0), reference, text,
+                    "deadline/control")
+            row["control_identical"] = True
+            # Budget threading: a generous deadline reaches the solver
+            # (RetryPolicy.tightened) without changing the answer.
+            generous = service.detect(text, tenant="late",
+                                      deadline_s=30.0, timeout=120.0)
+            _verify(generous, reference, text, "deadline/generous")
+            row["generous_identical"] = True
+            stats = service.stats()
+    finally:
+        faults.install_plan(None)
+    row["expired_counted"] = stats["expired"]
+    row["tenant_expired"] = stats["tenants"]["late"]["expired"]
+    return row
+
+
+# ---------------------------------------------------------------------------
+# restart: mid-stream daemon kill, same-port replacement, client heals
+# ---------------------------------------------------------------------------
+
+def run_restart(texts: list[str], reference: dict[str, str]) -> dict:
+    requests = 12
+    kill_after = 4
+    with tempfile.TemporaryDirectory(
+            prefix="repro-bench-restart-") as cache_dir:
+        config = ServiceConfig(cache_dir=cache_dir, batch_window_s=0.002)
+        daemon = DetectionDaemon(port=0, config=config)
+        daemon.serve_in_thread()
+        host, port = daemon.address
+        client = ServiceClient(host, port, max_retries=10,
+                               backoff_s=0.05)
+        reached_kill_point = threading.Event()
+        killed = threading.Event()
+        done = []
+        errors = []
+
+        def stream():
+            try:
+                for i in range(requests):
+                    if i == kill_after:
+                        # Hold here until the daemon is down, so the
+                        # next request deterministically hits a dead
+                        # connection and must heal.
+                        reached_kill_point.set()
+                        killed.wait(timeout=120.0)
+                    text = texts[i % len(texts)]
+                    report = client.detect_report(text, tenant="stream")
+                    if report_wire_fingerprint(report) != reference[text]:
+                        raise AssertionError(
+                            f"restart: request {i} diverged")
+                    done.append(i)
+            except BaseException as exc:  # surfaced below
+                errors.append(exc)
+                reached_kill_point.set()
+
+        thread = threading.Thread(target=stream, daemon=True)
+        thread.start()
+        reached_kill_point.wait(timeout=120.0)
+        daemon.kill()  # drops the client's live connection, no goodbye
+        killed.set()
+        time.sleep(0.2)
+        replacement = DetectionDaemon(host, port, config=config)
+        replacement.serve_in_thread()
+        thread.join(timeout=120.0)
+        reconnects, retries = client.reconnects, client.retries
+        client.close()
+        replacement.close()
+    if errors:
+        raise AssertionError(f"restart: stream failed: {errors[0]!r}")
+    return {
+        "requests": requests,
+        "killed_after": kill_after,
+        "completed": len(done),
+        "reconnects": reconnects,
+        "retries": retries,
+        "identical": True,
+    }
+
+
+# ---------------------------------------------------------------------------
+# conn-drop: injected connection severing on the daemon side
+# ---------------------------------------------------------------------------
+
+def run_conn_drop(texts: list[str], reference: dict[str, str]) -> dict:
+    text = texts[0]
+    requests = 8
+    plan = faults.install_plan(FaultPlan([
+        {"site": "daemon.conn", "kind": "exception", "at": (2, 5),
+         "key": "detect"},
+    ]))
+    try:
+        with tempfile.TemporaryDirectory(
+                prefix="repro-bench-conndrop-") as cache_dir:
+            daemon = DetectionDaemon(port=0, config=ServiceConfig(
+                cache_dir=cache_dir, batch_window_s=0.002))
+            daemon.serve_in_thread()
+            host, port = daemon.address
+            client = ServiceClient(host, port, max_retries=6,
+                                   backoff_s=0.02)
+            for i in range(requests):
+                report = client.detect_report(text, tenant="chaos")
+                if report_wire_fingerprint(report) != reference[text]:
+                    raise AssertionError(f"conn-drop: request {i} diverged")
+            retries, reconnects = client.retries, client.reconnects
+            client.close()
+            daemon.close()
+    finally:
+        faults.install_plan(None)
+    drops = [f for f in plan.fired if f["site"] == "daemon.conn"]
+    return {
+        "requests": requests,
+        "drops_fired": len(drops),
+        "client_retries": retries,
+        "client_reconnects": reconnects,
+        "identical": True,
+    }
+
+
+# ---------------------------------------------------------------------------
+# overhead: the serving seams, armed but idle
+# ---------------------------------------------------------------------------
+
+def run_overhead(texts: list[str]) -> dict:
+    """Warm serving sweep, no plan vs installed-but-empty plan.
+
+    The two modes are measured interleaved (an inactive sweep then an
+    active one, REPEATS times, best-of each) so clock drift or a noisy
+    neighbour biases both sides equally."""
+    sweep_rounds = 24
+    with tempfile.TemporaryDirectory(
+            prefix="repro-bench-svc-overhead-") as cache_dir:
+        config = ServiceConfig(cache_dir=cache_dir, batch_window_s=0.001)
+        with DetectionService(config) as service:
+            for text in texts:  # solve once; the sweeps replay the store
+                service.detect(text)
+
+            def sweep():
+                for _ in range(sweep_rounds):
+                    for text in texts:
+                        service.detect(text)
+                return True
+
+            inactive_s = active_s = float("inf")
+            try:
+                for _ in range(REPEATS):
+                    faults.install_plan(None)
+                    seconds, _ = best_of(sweep, 1)
+                    inactive_s = min(inactive_s, seconds)
+                    faults.install_plan(FaultPlan([]))
+                    seconds, _ = best_of(sweep, 1)
+                    active_s = min(active_s, seconds)
+            finally:
+                faults.install_plan(None)
+    return {
+        "requests_per_sweep": sweep_rounds * len(texts),
+        "inactive_seconds": round(inactive_s, 5),
+        "active_empty_seconds": round(active_s, 5),
+        "ratio": round(active_s / max(inactive_s, 1e-9), 4),
+    }
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+def run_benchmark(workload_names: list[str] | None = None) -> dict:
+    faults.install_plan(None)  # a leftover $REPRO_FAULT_PLAN would skew
+    texts = _texts(workload_names)[:CORE_MODULES]
+    reference = _reference(texts)
+    return {
+        "suite": {"modules": len(texts)},
+        "storm": run_storm(texts, reference),
+        "overload": run_overload(texts, reference),
+        "deadline": run_deadline(texts, reference),
+        "restart": run_restart(texts, reference),
+        "conn_drop": run_conn_drop(texts, reference),
+        "overhead": run_overhead(texts),
+    }
+
+
+def check_regression(result: dict, max_ratio: float) -> list[str]:
+    """Failures for the CI gate (identity divergence raises inside the
+    stanzas themselves, naming the tenant and request)."""
+    failures = []
+    storm = result["storm"]
+    for tenant, row in storm["tenants"].items():
+        if row["completed"] < storm["expected_per_tenant"]:
+            failures.append(
+                f"storm: tenant {tenant} starved "
+                f"({row['completed']}/{storm['expected_per_tenant']} "
+                f"requests completed)")
+        allowed = max(FAIRNESS_FACTOR * row["solo_p95_s"],
+                      FAIRNESS_FLOOR_S)
+        if row["storm_p95_s"] > allowed:
+            failures.append(
+                f"storm: tenant {tenant} p95 {row['storm_p95_s']}s under "
+                f"flood exceeds {allowed:.3f}s "
+                f"({FAIRNESS_FACTOR}x solo {row['solo_p95_s']}s)")
+    if storm["flooder_completed"] == 0:
+        failures.append("storm: the flooder starved instead (fair "
+                        "means fair)")
+    overload = result["overload"]
+    if overload["sheds"] < 10:
+        failures.append(
+            f"overload: only {overload['sheds']} sheds — the admission "
+            f"envelope never engaged")
+    if overload["sheds_missing_retry_after"]:
+        failures.append(
+            f"overload: {overload['sheds_missing_retry_after']} sheds "
+            f"lacked a positive retry_after_s")
+    if overload["admit_faults"] != 1:
+        failures.append(
+            f"overload: expected exactly 1 injected admit fault, "
+            f"saw {overload['admit_faults']}")
+    deadline = result["deadline"]
+    for key in ("pre_expired_typed", "queue_expired_typed",
+                "control_identical", "generous_identical"):
+        if not deadline[key]:
+            failures.append(f"deadline: {key} gate failed")
+    if deadline["expired_counted"] < 1:
+        failures.append("deadline: queue expiry never counted in stats")
+    restart = result["restart"]
+    if restart["completed"] < restart["requests"]:
+        failures.append(
+            f"restart: only {restart['completed']}/{restart['requests']} "
+            f"requests survived the daemon kill")
+    if restart["reconnects"] < 1:
+        failures.append("restart: client never reconnected")
+    conn = result["conn_drop"]
+    if conn["drops_fired"] != 2:
+        failures.append(
+            f"conn-drop: expected 2 injected drops, "
+            f"saw {conn['drops_fired']}")
+    if conn["client_retries"] < conn["drops_fired"]:
+        failures.append(
+            f"conn-drop: {conn['client_retries']} retries for "
+            f"{conn['drops_fired']} drops")
+    overhead = result["overhead"]
+    if overhead["ratio"] > max_ratio:
+        failures.append(
+            f"overhead: empty-plan serving at {overhead['ratio']:.4f}x "
+            f"of inactive (> {max_ratio:.2f}x)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench-service-faults",
+        description="Attack the overload-safe detection service: "
+                    "floods, hangs, deadline blowouts, daemon kills, "
+                    "connection drops")
+    parser.add_argument("--output", default=None,
+                        help="write full results JSON here")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="suite modules to draw traffic from "
+                             f"(first {CORE_MODULES} used)")
+    parser.add_argument("--check", action="store_true",
+                        help="CI gate: fail on starvation, unfair p95, "
+                             "untyped sheds, lost requests or idle-seam "
+                             "overhead above --max-ratio")
+    parser.add_argument("--max-ratio", type=float, default=1.03)
+    args = parser.parse_args(argv)
+
+    if args.check:
+        global REPEATS
+        REPEATS = 5
+    result = run_benchmark(args.workloads)
+
+    storm = result["storm"]
+    print(f"storm    flooder: {storm['flood_requests']} submitted, "
+          f"{storm['flood_sheds']} shed, "
+          f"{storm['flooder_completed']} completed")
+    for tenant, row in sorted(storm["tenants"].items()):
+        print(f"         {tenant}: {row['completed']}"
+              f"/{storm['expected_per_tenant']} done, "
+              f"p95 {row['solo_p95_s'] * 1e3:.1f}ms solo -> "
+              f"{row['storm_p95_s'] * 1e3:.1f}ms under flood "
+              f"({row['ratio']:.2f}x)")
+    ov = result["overload"]
+    print(f"overload {ov['admitted']} admitted / {ov['sheds']} typed "
+          f"sheds of {ov['submitted']} (hung batches: "
+          f"{ov['batch_hangs']}, admit faults: {ov['admit_faults']}); "
+          f"other tenant admitted mid-storm")
+    dl = result["deadline"]
+    print(f"deadline pre-expired typed: {dl['pre_expired_typed']}, "
+          f"queue-expired typed: {dl['queue_expired_typed']} "
+          f"(counted: {dl['expired_counted']}), control + generous "
+          f"requests bit-identical")
+    rs = result["restart"]
+    print(f"restart  {rs['completed']}/{rs['requests']} through a "
+          f"mid-stream kill (reconnects={rs['reconnects']}, "
+          f"retries={rs['retries']})")
+    cd = result["conn_drop"]
+    print(f"conndrop {cd['requests']} requests through "
+          f"{cd['drops_fired']} injected drops "
+          f"(retries={cd['client_retries']})")
+    oh = result["overhead"]
+    print(f"idle     inactive={oh['inactive_seconds']:.4f}s "
+          f"empty-plan={oh['active_empty_seconds']:.4f}s "
+          f"({oh['ratio']:.4f}x)")
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.check:
+        failures = check_regression(result, args.max_ratio)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("chaos matrix clean: fair under flood, typed sheds, "
+              "typed deadline expiry, client healed through a daemon "
+              "kill and injected drops, reports bit-identical "
+              "throughout")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -14,6 +14,11 @@ Seams instrumented across the codebase::
     worker.spawn      process-pool worker init   (key = "")
     backend.dispatch  ApiRuntime.dispatch        (key = site callee)
     jit.compile       JIT specialization         (key = function name)
+    service.admit     DetectionService.submit    (key = tenant)
+    service.batch     micro-batch execution      (key = batch size)
+    daemon.conn       daemon request handling    (key = request op;
+                      an ``exception`` here drops the TCP connection,
+                      exercising the client's reconnect path)
 
 Fault kinds:
 
@@ -61,6 +66,7 @@ from ..errors import InjectedFault, ReproError
 SEAMS = frozenset({
     "store.read", "store.write", "worker.solve", "worker.spawn",
     "backend.dispatch", "jit.compile",
+    "service.admit", "service.batch", "daemon.conn",
 })
 
 KINDS = frozenset({"exception", "crash", "hang", "torn"})

@@ -37,7 +37,7 @@ from concurrent.futures import (
     TimeoutError as FutureTimeout,
 )
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..errors import InjectedFault
 from . import faults
@@ -62,6 +62,24 @@ class RetryPolicy:
         if self.deadline_s is None:
             return None
         return self.deadline_s * max(1, batch_len) + self.grace_s
+
+    def tightened(self, budget_s: float | None) -> "RetryPolicy":
+        """This policy with its per-function deadline clamped to a
+        caller's remaining wall-clock budget.
+
+        End-to-end deadline propagation: the service threads each
+        batch's tightest surviving request deadline through here, so a
+        slow solve runs out of in-band solver ticks
+        (:class:`~repro.errors.SolveTimeout`, degraded to a
+        ``timed-out-partial`` outcome) instead of outliving the caller.
+        A non-positive budget is clamped to a near-zero deadline: the
+        solve fails fast rather than being granted infinity."""
+        if budget_s is None:
+            return self
+        budget_s = max(float(budget_s), 1e-6)
+        if self.deadline_s is not None and self.deadline_s <= budget_s:
+            return self
+        return replace(self, deadline_s=budget_s)
 
 
 @dataclass

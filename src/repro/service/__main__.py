@@ -1,23 +1,24 @@
 """CLI for the detection daemon.
 
-``python -m repro.service serve`` runs a daemon in the foreground;
-``detect``/``stats``/``ping``/``shutdown`` are thin clients for a
-running daemon. ``detect`` takes either a benchmark workload name
-(compiled through the standard pipeline) or ``--file`` with module IR
-text, round-trips the report through the wire format and prints the
-per-category totals a local run would print.
+``python -m repro.service serve`` runs a daemon in the foreground
+(SIGTERM triggers a graceful drain before exit);
+``detect``/``stats``/``health``/``ping``/``drain``/``shutdown`` are
+thin clients for a running daemon. ``detect`` takes either a benchmark
+workload name (compiled through the standard pipeline) or ``--file``
+with module IR text, round-trips the report through the wire format and
+prints the per-category totals a local run would print.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 
-from .core import DetectionService, ServiceConfig
-from .daemon import DetectionDaemon, ServiceClient
-
-DEFAULT_PORT = 7199
+from .core import ServiceConfig
+from .daemon import DEFAULT_PORT, DetectionDaemon, ServiceClient
 
 
 def _add_endpoint(parser: argparse.ArgumentParser) -> None:
@@ -58,6 +59,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="per-function solve deadline")
     serve.add_argument("--max-retries", type=int, default=2)
+    serve.add_argument("--max-pending", type=int, default=1024,
+                       help="admission-control cap on queued requests "
+                            "(default 1024); excess load is shed with a "
+                            "typed retryable error")
+    serve.add_argument("--tenant-quota", type=int, default=None,
+                       metavar="N",
+                       help="per-tenant pending-queue cap (default: "
+                            "max-pending/4)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="how long SIGTERM waits for in-flight work "
+                            "before exiting (default 30s)")
 
     detect = sub.add_parser("detect",
                             help="submit one module to a running daemon")
@@ -68,10 +81,22 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="module IR text to submit instead of a "
                              "workload ('-' for stdin)")
     detect.add_argument("--tenant", default="cli")
+    detect.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="end-to-end request deadline, enforced at "
+                             "admission and inside the solver")
     detect.add_argument("--json", action="store_true",
                         help="print the raw wire response")
 
+    drain = sub.add_parser(
+        "drain", help="stop the daemon admitting; wait for in-flight")
+    _add_endpoint(drain)
+    drain.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="max wait for the queue to empty")
+
     for name, text in (("stats", "print a running daemon's counters"),
+                       ("health", "print lifecycle state + queue depths"),
                        ("ping", "check a daemon is up"),
                        ("shutdown", "stop a running daemon")):
         command = sub.add_parser(name, help=text)
@@ -88,13 +113,26 @@ def _serve(args) -> int:
         eviction=args.eviction,
         batch_window_s=args.window_ms / 1e3,
         max_batch=args.max_batch, dispatchers=args.dispatchers,
-        deadline_s=args.deadline, max_retries=args.max_retries)
+        deadline_s=args.deadline, max_retries=args.max_retries,
+        max_pending=args.max_pending, tenant_quota=args.tenant_quota)
     daemon = DetectionDaemon(args.host, args.port, config=config)
     host, port = daemon.address
+
+    def _graceful(_signum, _frame):
+        # Drain in a helper thread (a signal handler must not block),
+        # then stop the serve loop; the finally-close below finishes up.
+        def drain_and_stop():
+            daemon.drain(args.drain_timeout)
+            daemon.shutdown()
+
+        threading.Thread(target=drain_and_stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
     print(f"repro detection daemon on {host}:{port} "
           f"(warmup {daemon.service.warmup_s:.2f}s, "
           f"workers={config.workers}/{config.mode}, "
-          f"window={config.batch_window_s * 1e3:.1f}ms)",
+          f"window={config.batch_window_s * 1e3:.1f}ms, "
+          f"max_pending={config.max_pending})",
           flush=True)
     try:
         daemon.serve_forever()
@@ -125,7 +163,8 @@ def _detect(args) -> int:
 
     text = _module_text(args)
     with ServiceClient(args.host, args.port) as client:
-        response = client.detect(text, tenant=args.tenant)
+        response = client.detect(text, tenant=args.tenant,
+                                 deadline_s=args.deadline)
     if args.json:
         print(json.dumps(response, indent=2, sort_keys=True))
         return 0
@@ -150,6 +189,11 @@ def main(argv: list[str] | None = None) -> int:
             print("pong" if client.ping() else "no answer")
         elif args.command == "stats":
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        elif args.command == "health":
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+        elif args.command == "drain":
+            print(json.dumps(client.drain(args.timeout), indent=2,
+                             sort_keys=True))
         elif args.command == "shutdown":
             client.shutdown()
             print("daemon shutting down")

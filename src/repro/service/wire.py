@@ -18,13 +18,66 @@ from __future__ import annotations
 import hashlib
 import json
 
+from ..errors import IDLError, InjectedFault, ReproError
 from ..idl.solver import SolverStats
 from ..idioms.matches import DetectionReport, IdiomMatch
 from ..idioms.scheduler import decode_solution, encode_solution
 from ..ir.module import Module
+from .core import (
+    DeadlineExpired,
+    ServiceDraining,
+    ServiceError,
+    ServiceOverloaded,
+)
 
 #: Bump on any report payload schema change.
 WIRE_VERSION = 1
+
+#: Every ``kind`` an error response may carry. ``overloaded`` and
+#: ``draining`` are retryable (honour ``retry_after_s``); ``deadline``
+#: and ``bad-request`` are the caller's to fix; ``internal`` is fatal.
+ERROR_KINDS = ("overloaded", "draining", "deadline", "bad-request",
+               "internal")
+
+
+def encode_error(exc: BaseException) -> dict:
+    """One failed request as a structured error response.
+
+    Clients discriminate on ``kind`` instead of string-matching
+    ``error``: typed :class:`~repro.service.core.ServiceError` failures
+    keep their own kind (plus ``retry_after_s`` when the service set
+    one); other :class:`~repro.errors.ReproError` subclasses and
+    payload-shape errors are the caller's fault (``bad-request``);
+    everything else — including injected faults — is ``internal``."""
+    response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    if isinstance(exc, ServiceError):
+        response["kind"] = exc.kind
+        if exc.retry_after_s is not None:
+            response["retry_after_s"] = round(float(exc.retry_after_s), 4)
+    elif isinstance(exc, InjectedFault):
+        response["kind"] = "internal"
+    elif isinstance(exc, (ReproError, ValueError, KeyError, TypeError)):
+        response["kind"] = "bad-request"
+    else:
+        response["kind"] = "internal"
+    return response
+
+
+def error_from_response(response: dict) -> IDLError:
+    """The client-side inverse of :func:`encode_error`: rebuild the
+    typed exception a daemon error response stands for."""
+    kind = response.get("kind", "internal")
+    message = str(response.get("error", "unknown daemon error"))
+    retry_after = response.get("retry_after_s")
+    if kind == "overloaded":
+        return ServiceOverloaded(f"daemon overloaded: {message}",
+                                 retry_after_s=retry_after)
+    if kind == "draining":
+        return ServiceDraining(f"daemon draining: {message}",
+                               retry_after_s=retry_after)
+    if kind == "deadline":
+        return DeadlineExpired(f"daemon: {message}")
+    return IDLError(f"daemon error ({kind}): {message}")
 
 
 def _stats_from(payload_stats: dict, max_steps) -> SolverStats:
