@@ -104,6 +104,10 @@ class PlacementError(ReproError):
     """The offload planner could not produce a valid assignment."""
 
 
+class CalibrationError(ReproError):
+    """A calibration profile is malformed or could not be produced."""
+
+
 class InterpreterError(ReproError):
     """Runtime failure while interpreting IR."""
 

@@ -17,11 +17,27 @@ placement is a costing layer, the numerics must not depend on it::
     PYTHONPATH=src python -m repro.experiments.bench_offload \
         --output BENCH_offload.json
 
-CI runs the check variant, which fails if the planner is ever worse than
-per-site greedy on any workload, if fewer than three workloads improve
-strictly, or if outputs diverge between engines::
+With a **measured calibration profile** (``--profile PATH`` or
+``--calibrate``, see :mod:`repro.platform.calibrate`) the benchmark
+switches to the multi-request regime the detection service creates:
+``--tenants N`` concurrent copies of each workload (default 6) contend
+for the shared accelerators and their transfer links, and three policies
+are compared under the calibrated contention-aware replay —
 
-    PYTHONPATH=src python -m repro.experiments.bench_offload --check
+* ``greedy`` — every tenant placed by the static per-site policy,
+* ``independent`` — every tenant placed by the solo planner, oblivious
+  to the other tenants, and
+* ``joint`` — :func:`repro.platform.placement.plan_concurrent` places
+  all tenants' sites together against the sum of completion times.
+
+CI runs the check variant, which fails if the planner is ever worse than
+per-site greedy on any workload, if outputs diverge between engines, or —
+in calibrated mode over the full dominant set — if joint placement beats
+static greedy on fewer than seven workloads, the suite speedup falls
+under 1.15x, or joint fails to strictly beat independent placement::
+
+    PYTHONPATH=src python -m repro.experiments.bench_offload --check \
+        --profile profiles/default.json
 """
 
 from __future__ import annotations
@@ -30,6 +46,11 @@ import argparse
 import json
 import sys
 
+from ..platform.placement import (
+    PlacementRequest,
+    evaluate_concurrent,
+    plan_concurrent,
+)
 from ..runtime.runner import (
     compile_workload,
     outputs_identical,
@@ -42,10 +63,59 @@ from . import harness
 #: from one deterministic simulation, so this only absorbs float noise.
 EPSILON = 1e-9
 
+#: Calibrated-mode acceptance gates (enforced only when the run covers
+#: the full dominant suite with a profile): joint placement must strictly
+#: beat static greedy on more than six workloads and the suite must
+#: improve by at least this factor.
+MIN_STRICT_WINS = 7
+MIN_SUITE_SPEEDUP = 1.15
+
+DEFAULT_TENANTS = 6
+
+
+def _strict(better: float, worse: float) -> bool:
+    return better < worse * (1.0 - 1e-12) - 1e-15
+
+
+def _concurrent_rows(ev, greedy, planner, profile, tenants: int) -> dict:
+    """The three-policy contention comparison for one workload."""
+    workload = ev.workload
+    host = ev.uncovered_seconds_with(profile)
+    requests = [
+        PlacementRequest(ev.sites, ev.events, host_seconds=host,
+                         scale=workload.paper_scale,
+                         greedy_lazy=workload.name in
+                         harness.LAZY_BENCHMARKS,
+                         label=f"{workload.name}#{i}")
+        for i in range(tenants)
+    ]
+    greedy_asg = [greedy.assignment() for _ in range(tenants)]
+    solo_asg = [planner.assignment() for _ in range(tenants)]
+    greedy_joint = evaluate_concurrent(requests, greedy_asg,
+                                       profile=profile, strategy="greedy")
+    independent = evaluate_concurrent(requests, solo_asg, profile=profile,
+                                      strategy="independent")
+    joint = plan_concurrent(requests, backends=harness.BACKENDS,
+                            profile=profile, independent=solo_asg)
+    return {
+        "greedy": greedy_joint,
+        "independent": independent,
+        "joint": joint,
+    }
+
 
 def run_benchmark(workload_names: list[str] | None = None,
-                  strategy: str = "beam") -> dict:
-    """Per-workload planner-vs-greedy totals plus equivalence checks."""
+                  strategy: str = "beam",
+                  profile=None,
+                  tenants: int = DEFAULT_TENANTS) -> dict:
+    """Per-workload planner-vs-greedy totals plus equivalence checks.
+
+    Without a ``profile`` this is the original single-request comparison
+    under the static cost model. With one, every evaluation is
+    calibrated and each workload additionally carries the ``tenants``-way
+    contention comparison; the headline ``greedy_ms``/``planner_ms``
+    become the sum-of-completions of static-greedy vs joint placement.
+    """
     workloads = dominant_workloads()
     if workload_names:
         unknown = set(workload_names) - {w.name for w in workloads}
@@ -58,7 +128,20 @@ def run_benchmark(workload_names: list[str] | None = None,
         if workload_names and workload.name not in workload_names:
             continue
         ev = harness.evaluate_workload(workload)
-        greedy, planner = harness.workload_plans(ev, strategy)
+        greedy, planner = harness.workload_plans(ev, strategy,
+                                                 profile=profile)
+
+        concurrent = None
+        if profile is not None:
+            concurrent = _concurrent_rows(ev, greedy, planner, profile,
+                                          tenants)
+            placement_locations = concurrent["joint"].locations(0)
+            greedy_s = concurrent["greedy"].sum_completion_s
+            planner_s = concurrent["joint"].sum_completion_s
+        else:
+            placement_locations = planner.locations()
+            greedy_s = greedy.total_s
+            planner_s = planner.total_s
 
         # Engine/placement invariance: the accelerated module must produce
         # bit-identical outputs on the reference interpreter (placement
@@ -67,25 +150,24 @@ def run_benchmark(workload_names: list[str] | None = None,
         vm_run = run_accelerated(
             compile_workload(workload.name, workload.source, verify=False),
             workload.entry, inputs, engine="vm",
-            placement=planner.locations())
+            placement=placement_locations)
         ref_run = run_accelerated(
             compile_workload(workload.name, workload.source, verify=False),
             workload.entry, workload.make_inputs(1), engine="reference",
-            placement=planner.locations())
+            placement=placement_locations)
         identical = outputs_identical(vm_run, ref_run)
         # evaluate_workload already compared this accelerated module
         # against a full original run on identical inputs.
         matches_original = bool(ev.outputs_equal)
 
-        rows[workload.name] = {
+        row = {
             "sites": len(ev.sites),
             "events": len(ev.events),
-            "greedy_ms": round(greedy.total_s * 1e3, 6),
-            "planner_ms": round(planner.total_s * 1e3, 6),
-            "speedup": round(greedy.total_s / planner.total_s, 4)
-            if planner.total_s > 0 else 1.0,
-            "strictly_better": planner.total_s
-            < greedy.total_s * (1.0 - 1e-12) - 1e-15,
+            "greedy_ms": round(greedy_s * 1e3, 6),
+            "planner_ms": round(planner_s * 1e3, 6),
+            "speedup": round(greedy_s / planner_s, 4)
+            if planner_s > 0 else 1.0,
+            "strictly_better": _strict(planner_s, greedy_s),
             "engines_bit_identical": identical,
             "outputs_match_original": matches_original,
             "assignment": [
@@ -93,11 +175,34 @@ def run_benchmark(workload_names: list[str] | None = None,
                 for s in planner.as_dict()["sites"]
             ],
         }
-    result = {"strategy": strategy, "workloads": rows}
+        if concurrent is not None:
+            joint = concurrent["joint"]
+            independent = concurrent["independent"]
+            row["solo"] = {
+                "greedy_ms": round(greedy.total_s * 1e3, 6),
+                "planner_ms": round(planner.total_s * 1e3, 6),
+            }
+            row["tenants"] = tenants
+            row["independent_ms"] = round(
+                independent.sum_completion_s * 1e3, 6)
+            row["joint_beats_independent"] = _strict(
+                joint.sum_completion_s, independent.sum_completion_s)
+            row["joint_makespan_ms"] = round(joint.makespan_s * 1e3, 6)
+            row["joint_assignment"] = \
+                joint.as_dict()["requests"][0]["sites"]
+        rows[workload.name] = row
+    result = {"strategy": strategy, "workloads": rows,
+              "calibrated": profile is not None}
+    if profile is not None:
+        result["tenants"] = tenants
+        result["profile"] = {
+            "machine_id": profile.machine_id,
+            "created_at": profile.created_at,
+        }
     if rows:
         greedy_total = sum(r["greedy_ms"] for r in rows.values())
         planner_total = sum(r["planner_ms"] for r in rows.values())
-        result["suite"] = {
+        suite = {
             "greedy_ms": round(greedy_total, 6),
             "planner_ms": round(planner_total, 6),
             "speedup": round(greedy_total / planner_total, 4)
@@ -105,6 +210,13 @@ def run_benchmark(workload_names: list[str] | None = None,
             "strictly_better": sum(
                 1 for r in rows.values() if r["strictly_better"]),
         }
+        if profile is not None:
+            independent_total = sum(r["independent_ms"]
+                                    for r in rows.values())
+            suite["independent_ms"] = round(independent_total, 6)
+            suite["joint_beats_independent"] = _strict(
+                planner_total, independent_total)
+        result["suite"] = suite
     return result
 
 
@@ -112,13 +224,24 @@ def check_invariants(result: dict) -> list[str]:
     """The planner contract: never worse than greedy, strictly better on
     at least three workloads (enforced whenever the run covers enough of
     the suite for that to be meaningful), numerics engine- and
-    placement-invariant."""
+    placement-invariant. Calibrated runs over the full dominant suite
+    additionally gate on the contention-aware wins: joint placement must
+    strictly beat static greedy on at least :data:`MIN_STRICT_WINS`
+    workloads, deliver a suite speedup of at least
+    :data:`MIN_SUITE_SPEEDUP`, and strictly beat independent per-request
+    placement."""
     failures = []
+    calibrated = result.get("calibrated", False)
     for name, row in result["workloads"].items():
         if row["planner_ms"] > row["greedy_ms"] * (1.0 + EPSILON):
             failures.append(
                 f"{name}: planner {row['planner_ms']:.3f}ms worse than "
                 f"per-site greedy {row['greedy_ms']:.3f}ms")
+        if calibrated and row["planner_ms"] > \
+                row["independent_ms"] * (1.0 + EPSILON):
+            failures.append(
+                f"{name}: joint {row['planner_ms']:.3f}ms worse than "
+                f"independent placement {row['independent_ms']:.3f}ms")
         if not row["engines_bit_identical"]:
             failures.append(
                 f"{name}: accelerated outputs differ between engines")
@@ -126,11 +249,26 @@ def check_invariants(result: dict) -> list[str]:
             failures.append(
                 f"{name}: accelerated outputs diverge from the original")
     suite = result.get("suite")
-    if suite is not None and len(result["workloads"]) >= 5 and \
-            suite["strictly_better"] < 3:
+    full_suite = len(result["workloads"]) >= 5
+    if suite is not None and full_suite and suite["strictly_better"] < 3:
         failures.append(
             f"planner strictly better on only {suite['strictly_better']} "
             f"workloads (need >= 3)")
+    if calibrated and suite is not None and \
+            len(result["workloads"]) >= len(dominant_workloads()):
+        if suite["strictly_better"] < MIN_STRICT_WINS:
+            failures.append(
+                f"calibrated joint placement strictly better on only "
+                f"{suite['strictly_better']} workloads "
+                f"(need >= {MIN_STRICT_WINS})")
+        if suite["speedup"] < MIN_SUITE_SPEEDUP:
+            failures.append(
+                f"calibrated suite speedup {suite['speedup']:.3f}x under "
+                f"the {MIN_SUITE_SPEEDUP:.2f}x floor")
+        if not suite.get("joint_beats_independent", False):
+            failures.append(
+                "joint placement does not strictly beat independent "
+                "per-request placement on the suite")
     return failures
 
 
@@ -147,26 +285,55 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--strategy", choices=["beam", "exhaustive"],
                         default="beam",
                         help="planner strategy to compare (default beam)")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="measured calibration profile JSON; enables "
+                             "the calibrated multi-tenant comparison")
+    parser.add_argument("--calibrate", action="store_true",
+                        help="measure a calibration profile on this "
+                             "machine first (written to --profile PATH "
+                             "when given)")
+    parser.add_argument("--tenants", type=int, default=DEFAULT_TENANTS,
+                        metavar="N",
+                        help="concurrent copies of each workload in the "
+                             f"calibrated comparison (default "
+                             f"{DEFAULT_TENANTS})")
     parser.add_argument("--check", action="store_true",
                         help="fail if the planner is worse than greedy "
-                             "anywhere, improves fewer than 3 workloads, "
-                             "or outputs diverge")
+                             "anywhere, outputs diverge, or (calibrated, "
+                             "full suite) the contention gates fail")
     args = parser.parse_args(argv)
+    if args.tenants < 1:
+        parser.error("--tenants must be at least 1")
 
-    result = run_benchmark(args.workloads, strategy=args.strategy)
+    profile = harness.load_active_profile(
+        args.profile, calibrate=args.calibrate,
+        out=args.profile if args.calibrate else None)
+    result = run_benchmark(args.workloads, strategy=args.strategy,
+                           profile=profile, tenants=args.tenants)
 
+    regime = f"{args.tenants}-tenant joint" if profile is not None \
+        else "single-request"
+    print(f"offload planner vs per-site greedy ({regime})")
     for name, row in result["workloads"].items():
         marker = "*" if row["strictly_better"] else " "
+        extra = ""
+        if profile is not None:
+            beat = "<" if row["joint_beats_independent"] else "="
+            extra = f" indep={row['independent_ms']:>12.3f}ms " \
+                    f"joint{beat}indep"
         print(f"{name:8s} greedy={row['greedy_ms']:>12.3f}ms "
               f"planner={row['planner_ms']:>12.3f}ms "
               f"({row['speedup']:.2f}x{marker}, {row['sites']} sites, "
-              f"{row['events']} events)")
+              f"{row['events']} events){extra}")
     suite = result.get("suite")
     if suite:
+        extra = ""
+        if profile is not None:
+            extra = f" independent={suite['independent_ms']:.3f}ms"
         print(f"suite    greedy={suite['greedy_ms']:.3f}ms "
               f"planner={suite['planner_ms']:.3f}ms "
               f"({suite['speedup']:.2f}x, strictly better on "
-              f"{suite['strictly_better']})")
+              f"{suite['strictly_better']}){extra}")
 
     if args.output:
         with open(args.output, "w") as fh:
@@ -180,8 +347,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         if failures:
             return 1
-        print("planner invariants hold: never worse than per-site greedy, "
-              "outputs engine- and placement-invariant")
+        print("planner invariants hold: never worse than per-site greedy"
+              + (", joint beats independent under contention"
+                 if profile is not None else "")
+              + ", outputs engine- and placement-invariant")
     return 0
 
 

@@ -73,12 +73,25 @@ class WorkloadEvaluation:
     #: Residency event log from the accelerated run (placement input).
     events: list = field(default_factory=list)
     events_overflowed: bool = False
+    #: Dynamic opcode counts of the original run — lets a calibration
+    #: profile recompute the sequential model with measured per-class
+    #: scalar costs instead of the static table.
+    opcode_counts: dict = field(default_factory=dict)
 
     @property
     def uncovered_seconds(self) -> float:
         """Paper-scale host time outside the replaced idioms."""
         return self.sequential_seconds * self.workload.paper_scale * \
             (1.0 - self.coverage)
+
+    def uncovered_seconds_with(self, profile) -> float:
+        """:attr:`uncovered_seconds` under a calibration profile's
+        measured scalar costs (static model when the profile carries
+        none or the opcode counts were not captured)."""
+        if profile is None or not self.opcode_counts:
+            return self.uncovered_seconds
+        measured = profile.sequential_seconds(self.opcode_counts)
+        return measured * self.workload.paper_scale * (1.0 - self.coverage)
 
 
 _CACHE: dict[str, WorkloadEvaluation] = {}
@@ -149,6 +162,32 @@ CACHE_STORE = None
 DEADLINE_S: float | None = None
 MAX_RETRIES = 2
 
+#: Active calibration profile (``--profile PATH`` loads one,
+#: ``--calibrate`` measures one on this machine). None keeps every cost
+#: evaluation on the documented static constants.
+PROFILE = None
+PROFILE_PATH: str | None = None
+
+
+def load_active_profile(path: str | None = None, calibrate: bool = False,
+                        out: str | None = None):
+    """Resolve the session's calibration profile.
+
+    ``calibrate`` runs the seeded microbench probes on this machine
+    (and writes the result to ``out`` when given); otherwise ``path``
+    names a previously written profile JSON. Returns None — static
+    fallback constants — when neither is requested."""
+    from ..platform.calibrate import Calibrator, read_profile_json, \
+        write_profile_json
+    if calibrate:
+        profile = Calibrator().run()
+        if out:
+            write_profile_json(profile, out)
+        return profile
+    if path:
+        return read_profile_json(path, strict=True)
+    return None
+
 
 def evaluate_workload(workload: Workload, scale: int | None = None,
                       execute: bool = True,
@@ -184,6 +223,7 @@ def evaluate_workload(workload: Workload, scale: int | None = None,
                                 engine=engine, jit_threshold=JIT_THRESHOLD)
         ev.coverage = original.coverage
         ev.sequential_seconds = original.sequential_seconds
+        ev.opcode_counts = dict(original.opcode_counts)
         if workload.dominant:
             # The original run has already captured its outputs in private
             # buffers, so the accelerated run can transform the same
@@ -479,7 +519,8 @@ def print_fig19() -> dict:
 # ---------------------------------------------------------------------------
 
 def workload_plans(ev: WorkloadEvaluation,
-                   strategy: str | None = None
+                   strategy: str | None = None,
+                   profile=None
                    ) -> tuple[PlacementPlan, PlacementPlan]:
     """(per-site-greedy plan, planner plan) for one evaluated workload.
 
@@ -487,15 +528,20 @@ def workload_plans(ev: WorkloadEvaluation,
     isolates *assignment quality*: greedy places each site in isolation
     with the legacy lazy/eager formula (the seed policy, lazy only where
     the paper's §8.3 optimisation applied), the planner optimises the
-    whole module.
+    whole module. A calibration ``profile`` (default: the session's
+    :data:`PROFILE`) swaps measured parameters into both evaluations —
+    greedy's *picks* stay static, so the gap shows what trusting the
+    unmeasured constants costs.
     """
     strategy = PLACEMENT if strategy is None else strategy
+    profile = PROFILE if profile is None else profile
     kwargs = dict(
         backends=BACKENDS,
-        host_seconds=ev.uncovered_seconds,
+        host_seconds=ev.uncovered_seconds_with(profile),
         scale=ev.workload.paper_scale,
         greedy_lazy=ev.workload.name in LAZY_BENCHMARKS,
         events_overflowed=ev.events_overflowed,
+        profile=profile,
     )
     greedy = plan_module(ev.sites, ev.events, strategy="greedy", **kwargs)
     planner = plan_module(ev.sites, ev.events, strategy=strategy, **kwargs)
@@ -598,7 +644,7 @@ def print_cache_stats() -> None:
 def main(argv: list[str] | None = None) -> int:
     global DETECT_WORKERS, DETECT_MODE, DETECT_ORDERING, ENGINE, SCALE, \
         JIT_THRESHOLD, BACKENDS, PLACEMENT, CACHE_DIR, CACHE_STORE, \
-        DEADLINE_S, MAX_RETRIES
+        DEADLINE_S, MAX_RETRIES, PROFILE, PROFILE_PATH
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -668,6 +714,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="retry budget for transient detection "
                              "worker failures before the session "
                              "degrades to a safer tier (default 2)")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="load a measured calibration profile (JSON "
+                             "written by --calibrate) and cost every "
+                             "placement with it; default: the static "
+                             "fallback constants")
+    parser.add_argument("--calibrate", action="store_true",
+                        help="run the seeded calibration microbenchmarks "
+                             "on this machine and use (and, with "
+                             "--profile PATH, write) the resulting "
+                             "profile for this session")
     parser.add_argument("--fault-plan", default=None, metavar="PLAN",
                         help="deterministic fault-injection plan: inline "
                              "JSON or @path to a JSON file (also "
@@ -695,6 +751,10 @@ def main(argv: list[str] | None = None) -> int:
     PLACEMENT = args.placement
     DEADLINE_S = args.deadline
     MAX_RETRIES = args.max_retries
+    PROFILE_PATH = args.profile
+    PROFILE = load_active_profile(args.profile, calibrate=args.calibrate,
+                                  out=args.profile if args.calibrate
+                                  else None)
     if args.fault_plan is not None:
         from ..reliability import faults
         faults.install_plan(args.fault_plan)

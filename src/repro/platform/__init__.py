@@ -1,33 +1,59 @@
-"""Platform models: machines, roofline costs, residency-aware placement."""
+"""Platform models: machines, roofline costs, calibration, residency-aware
+placement (single- and multi-request)."""
 
+from .calibrate import (
+    CalibrationProfile,
+    Calibrator,
+    calibrate,
+    load_profile,
+    machine_identity,
+    read_profile_json,
+    registry_signature,
+    save_profile,
+    write_profile_json,
+)
 from .cost import (
+    DEFAULT_EFFICIENCY,
     OPENCL,
     OPENMP,
     AcceleratedCost,
     ReferenceImplementation,
     best_api_cost,
     compute_launch_cost,
+    effective_efficiency,
+    launch_overhead_us,
     reference_time,
     site_cost,
+    transfer_link,
 )
 from .machine import CPU, GPU, IGPU, MACHINES, Machine, sequential_time_seconds
 from .placement import (
     HOST,
     STRATEGIES,
+    ConcurrentPlan,
     PlacedSite,
     PlacementPlan,
+    PlacementRequest,
     ResidencyState,
     SitePlacement,
     candidate_placements,
     evaluate_assignment,
+    evaluate_concurrent,
+    plan_concurrent,
     plan_module,
 )
 
 __all__ = [
-    "OPENCL", "OPENMP", "AcceleratedCost", "ReferenceImplementation",
-    "best_api_cost", "compute_launch_cost", "reference_time", "site_cost",
+    "CalibrationProfile", "Calibrator", "calibrate", "load_profile",
+    "machine_identity", "read_profile_json", "registry_signature",
+    "save_profile", "write_profile_json",
+    "DEFAULT_EFFICIENCY", "OPENCL", "OPENMP", "AcceleratedCost",
+    "ReferenceImplementation", "best_api_cost", "compute_launch_cost",
+    "effective_efficiency", "launch_overhead_us", "reference_time",
+    "site_cost", "transfer_link",
     "CPU", "GPU", "IGPU", "MACHINES", "Machine", "sequential_time_seconds",
-    "HOST", "STRATEGIES", "PlacedSite", "PlacementPlan", "ResidencyState",
-    "SitePlacement", "candidate_placements", "evaluate_assignment",
-    "plan_module",
+    "HOST", "STRATEGIES", "ConcurrentPlan", "PlacedSite", "PlacementPlan",
+    "PlacementRequest", "ResidencyState", "SitePlacement",
+    "candidate_placements", "evaluate_assignment", "evaluate_concurrent",
+    "plan_concurrent", "plan_module",
 ]

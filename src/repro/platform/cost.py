@@ -3,13 +3,27 @@
 For an API call site with accumulated dynamic statistics (elements, flops,
 bytes) the model charges, per call::
 
-    T = launch + transfer(bytes_moved) + max(flops/peak·eff, bytes/bw)
+    T = launch + transfer(bytes_moved) + max(flops/peak·eff, bytes/bw·eff)
 
-where ``eff`` is the API's efficiency for the idiom category (Table 3's
-calibration constants, see :mod:`repro.backends.api`). Transfer is charged
-on discrete devices only, and only for buffers not already resident — the
-paper's "lazy copying" optimisation (§8.3, red bars in Figure 18) is the
-``lazy_transfers`` flag.
+where ``eff`` is the API's efficiency for the idiom category. Two sources
+feed that number:
+
+* **Static constants** (Table 3's calibration constants, see
+  :mod:`repro.backends.api`) — the documented *fallback*. They were chosen
+  to reproduce the paper's who-beats-whom ordering, not measured, so a
+  planner trusting them inherits their guesses. APIs with no constant for
+  a category fall back to :data:`DEFAULT_EFFICIENCY`.
+* **A measured :class:`~repro.platform.calibrate.CalibrationProfile`** —
+  when a ``profile`` is passed, per-(API, category, device) efficiencies,
+  per-(API, device) launch overheads and per-device transfer link
+  parameters derived from seeded microbench probes on *this* machine
+  override the static constants. Anything the profile does not cover
+  falls back to the static value, so a partial profile degrades
+  gracefully.
+
+Transfer is charged on discrete devices only, and only for buffers not
+already resident — the paper's "lazy copying" optimisation (§8.3, red
+bars in Figure 18) is the ``lazy_transfers`` flag.
 
 .. note::
    The ``lazy_transfers`` division (``bytes_touched / calls``) is the
@@ -29,6 +43,13 @@ from dataclasses import dataclass
 
 from ..backends.api import ApiCallSite, ApiDescriptor
 from .machine import Machine
+
+#: Efficiency assumed for an (API, category) pair with no static
+#: calibration constant. Shared with the calibration subsystem
+#: (:mod:`repro.platform.calibrate` uses it as the prior for unknown
+#: pairs), so the measured and fallback models agree on what "no
+#: information" means.
+DEFAULT_EFFICIENCY = 0.3
 
 
 @dataclass
@@ -54,55 +75,100 @@ def _site_stats(site: ApiCallSite) -> tuple[int, float, float]:
     return calls, flops, bytes_touched
 
 
+def effective_efficiency(site: ApiCallSite, api: ApiDescriptor,
+                         machine: Machine, profile=None) -> float:
+    """The efficiency the model charges for this (site, API, machine).
+
+    Calibrated value when the profile covers the triple, else the API's
+    static constant, else :data:`DEFAULT_EFFICIENCY`."""
+    static = api.efficiency.get(site.category, DEFAULT_EFFICIENCY)
+    if profile is not None:
+        measured = profile.efficiency_for(api.name, site.category,
+                                          machine.name)
+        if measured is not None:
+            return measured
+    return static
+
+
+def launch_overhead_us(api: ApiDescriptor, machine: Machine,
+                       profile=None) -> float:
+    """Per-call launch overhead in microseconds, calibrated when known."""
+    if profile is not None:
+        measured = profile.launch_us_for(api.name, machine.name)
+        if measured is not None:
+            return measured
+    return api.launch_overhead_us
+
+
+def transfer_link(machine: Machine, profile=None) -> tuple[float, float]:
+    """(bandwidth GB/s, latency µs) of the machine's host link,
+    calibrated when known. Host-memory machines keep infinite bandwidth
+    regardless of the profile."""
+    if machine.transfer_gbs == float("inf"):
+        return machine.transfer_gbs, machine.transfer_latency_us
+    if profile is not None:
+        link = profile.link_for(machine.name)
+        if link is not None:
+            return link
+    return machine.transfer_gbs, machine.transfer_latency_us
+
+
 def compute_launch_cost(site: ApiCallSite, api: ApiDescriptor,
-                        machine: Machine) -> tuple[float, float]:
+                        machine: Machine, profile=None
+                        ) -> tuple[float, float]:
     """(compute_s, launch_s) of all dynamic executions of ``site`` —
     the transfer-free part of the roofline, used by the offload planner
     (which charges transfers from the residency event log instead)."""
     calls, flops, bytes_touched = _site_stats(site)
-    efficiency = api.efficiency.get(site.category, 0.3)
+    efficiency = effective_efficiency(site, api, machine, profile)
     compute = max(flops / (machine.peak_gflops * 1e9 * efficiency),
                   bytes_touched / (machine.mem_bandwidth_gbs * 1e9 *
                                    efficiency))
-    launch = calls * api.launch_overhead_us * 1e-6
+    launch = calls * launch_overhead_us(api, machine, profile) * 1e-6
     return compute, launch
 
 
 def site_cost(site: ApiCallSite, api: ApiDescriptor, machine: Machine,
-              lazy_transfers: bool = False) -> AcceleratedCost:
+              lazy_transfers: bool = False, profile=None
+              ) -> AcceleratedCost:
     """Cost of all dynamic executions of ``site`` on the given target.
 
     ``lazy_transfers`` uses the per-call division fallback documented in
     the module docstring; exact transfer accounting lives in
-    :mod:`repro.platform.placement`.
+    :mod:`repro.platform.placement`. ``profile`` substitutes measured
+    calibration parameters where available.
     """
     calls, _, bytes_touched = _site_stats(site)
-    compute, launch = compute_launch_cost(site, api, machine)
+    compute, launch = compute_launch_cost(site, api, machine, profile)
 
-    if machine.transfer_gbs == float("inf"):
+    link_gbs, link_latency_us = transfer_link(machine, profile)
+    if link_gbs == float("inf"):
         transfer = 0.0
+    elif lazy_transfers:
+        # Resident data moves once, not per call; one upload + one
+        # download latency bracket the whole sequence.
+        transfer = bytes_touched / calls / (link_gbs * 1e9) + \
+            2 * link_latency_us * 1e-6
     else:
-        moved = bytes_touched if not lazy_transfers else \
-            bytes_touched / calls  # resident data moves once, not per call
-        transfer = moved / (machine.transfer_gbs * 1e9) + \
-            calls * machine.transfer_latency_us * 1e-6
-        if lazy_transfers:
-            transfer = moved / (machine.transfer_gbs * 1e9) + \
-                2 * machine.transfer_latency_us * 1e-6
+        transfer = bytes_touched / (link_gbs * 1e9) + \
+            calls * link_latency_us * 1e-6
 
     return AcceleratedCost(compute, transfer, launch)
 
 
 def best_api_cost(site: ApiCallSite, apis: list[ApiDescriptor],
                   machine: Machine,
-                  lazy_transfers: bool = False
+                  lazy_transfers: bool = False, profile=None
                   ) -> tuple[ApiDescriptor, AcceleratedCost] | None:
-    """The fastest applicable API for this site on this machine."""
+    """The fastest applicable API for this site on this machine.
+
+    Ties break toward the earliest API in ``apis`` (strict ``<``), so
+    the result is deterministic for any fixed candidate order."""
     best: tuple[ApiDescriptor, AcceleratedCost] | None = None
     for api in apis:
         if not api.supports(machine.name, site.category):
             continue
-        cost = site_cost(site, api, machine, lazy_transfers)
+        cost = site_cost(site, api, machine, lazy_transfers, profile)
         if best is None or cost.total_s < best[1].total_s:
             best = (api, cost)
     return best

@@ -76,15 +76,20 @@ GPU = Machine(
 MACHINES: dict[str, Machine] = {m.name: m for m in (CPU, IGPU, GPU)}
 
 
-def sequential_time_seconds(opcode_counts: dict[str, int]) -> float:
+def sequential_time_seconds(opcode_counts: dict[str, int],
+                            scalar_ns: dict | None = None) -> float:
     """Simulated single-core time for the given dynamic opcode counts.
 
     Summed in sorted opcode order so the result is independent of dict
     insertion order — the execution engines tally identical counts but
     discover blocks in different orders, and float addition is not
     associative.
+
+    ``scalar_ns`` overrides the static per-opcode table — calibration
+    (:mod:`repro.platform.calibrate`) passes its anchored, measured
+    reweighting here; the default stays the documented static model.
     """
-    costs = CPU.scalar_ns or {}
+    costs = scalar_ns if scalar_ns is not None else (CPU.scalar_ns or {})
     total_ns = 0.0
     for opcode in sorted(opcode_counts):
         total_ns += opcode_counts[opcode] * costs.get(opcode, 1.0)

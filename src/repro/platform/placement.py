@@ -24,6 +24,22 @@ two calls. This module replaces both with a global model:
    enumerates small search spaces. Every strategy also evaluates the
    greedy assignment under the exact model, so the planner is **never
    worse than per-site greedy** by construction.
+
+Every evaluation accepts an optional measured
+:class:`~repro.platform.calibrate.CalibrationProfile`; the greedy
+*picks* deliberately stay on the static constants (that is the seed
+policy under test), while the profile replaces efficiencies, launch
+overheads and link parameters in the replay itself.
+
+The **multi-request regime** extends the replay to concurrent tenants
+(the traffic shape the service layer creates):
+:func:`evaluate_concurrent` replays several requests' event logs against
+shared per-device compute queues and per-device transfer links — host
+compute stays per-tenant (each tenant is its own client), accelerators
+and their links serialise — and :func:`plan_concurrent` assigns all
+requests' sites **jointly**, starting from the per-request independent
+optima and descending on the sum of completion times, so joint placement
+is never worse than independent-per-request placement by construction.
 """
 
 from __future__ import annotations
@@ -34,7 +50,7 @@ from dataclasses import dataclass, field
 from ..backends.api import ApiCallSite, ApiDescriptor
 from ..backends.registry import BackendRegistry, default_registry
 from ..errors import PlacementError
-from .cost import compute_launch_cost, site_cost
+from .cost import compute_launch_cost, site_cost, transfer_link
 from .machine import MACHINES, Machine
 
 HOST = "host"
@@ -220,10 +236,10 @@ def site_at_scale(site: ApiCallSite, scale: float) -> ApiCallSite:
 # Exact evaluation of one assignment
 # ---------------------------------------------------------------------------
 
-def _link_seconds(machines: dict, location: str, nbytes: float) -> float:
-    machine = machines[location]
-    return nbytes / (machine.transfer_gbs * 1e9) + \
-        machine.transfer_latency_us * 1e-6
+def _link_seconds(machines: dict, location: str, nbytes: float,
+                  profile=None) -> float:
+    gbs, latency_us = transfer_link(machines[location], profile)
+    return nbytes / (gbs * 1e9) + latency_us * 1e-6
 
 
 def evaluate_assignment(sites: list[ApiCallSite], events: list,
@@ -231,13 +247,16 @@ def evaluate_assignment(sites: list[ApiCallSite], events: list,
                         strategy: str = "custom", host_seconds: float = 0.0,
                         scale: float = 1.0,
                         exact: bool = True,
-                        fallback_lazy: bool = True) -> PlacementPlan:
+                        fallback_lazy: bool = True,
+                        profile=None) -> PlacementPlan:
     """Exact simulated cost of ``assignment`` over the event log.
 
     ``assignment`` maps call_id -> :class:`SitePlacement`. When the event
     log is unusable (``exact=False``), transfers fall back to the legacy
     per-site formula of :func:`repro.platform.cost.site_cost` under the
     ``fallback_lazy`` policy (matching the seed's lazy applicability).
+    ``profile`` substitutes measured calibration parameters everywhere
+    the replay charges costs.
     """
     machines = machines or MACHINES
     plan = PlacementPlan(strategy, host_seconds=host_seconds, exact=exact)
@@ -247,12 +266,13 @@ def evaluate_assignment(sites: list[ApiCallSite], events: list,
         scaled = site_at_scale(site, scale)
         if exact:
             compute, launch = compute_launch_cost(scaled, placement.api,
-                                                  placement.machine)
+                                                  placement.machine,
+                                                  profile)
             placed[site.call_id] = PlacedSite(site, placement, compute,
                                               launch)
         else:
             cost = site_cost(scaled, placement.api, placement.machine,
-                             lazy_transfers=fallback_lazy)
+                             lazy_transfers=fallback_lazy, profile=profile)
             placed[site.call_id] = PlacedSite(site, placement,
                                               cost.compute_s, cost.launch_s,
                                               cost.transfer_s)
@@ -283,11 +303,13 @@ def evaluate_assignment(sites: list[ApiCallSite], events: list,
                                                 mode):
                     entry.transfer_bytes += moved
                     entry.transfer_events += 1
-                    entry.transfer_s += _link_seconds(machines, link, moved)
+                    entry.transfer_s += _link_seconds(machines, link, moved,
+                                                      profile)
         for key, device in state.device_only().items():
             nbytes = key_bytes.get(key, 0.0)
             plan.epilogue_bytes += nbytes
-            plan.epilogue_s += _link_seconds(machines, device, nbytes)
+            plan.epilogue_s += _link_seconds(machines, device, nbytes,
+                                             profile)
     plan.placed = [placed[s.call_id] for s in sites]
     return plan
 
@@ -366,14 +388,18 @@ def plan_module(sites: list[ApiCallSite], events: list, *,
                 greedy_lazy: bool = True,
                 beam_width: int = 8,
                 exhaustive_limit: int = 4096,
-                events_overflowed: bool = False) -> PlacementPlan:
+                events_overflowed: bool = False,
+                profile=None) -> PlacementPlan:
     """Assign (API, device) to every call site of a module, globally.
 
     ``sites``/``events`` come from an accelerated execution's
     :class:`~repro.backends.api.ApiRuntime` (``all_sites()`` /
     ``.events``). ``host_seconds`` is the uncovered sequential time added
     to every plan alike; ``scale`` extrapolates dynamic statistics to
-    paper-scale problem sizes.
+    paper-scale problem sizes. ``profile`` substitutes measured
+    calibration parameters into every *evaluation* — the greedy seed's
+    picks deliberately stay on the static constants, since that is the
+    baseline policy under test.
 
     The returned plan's sites are annotated (``site.placement``) with
     their chosen :class:`SitePlacement`. ``exhaustive`` falls back to the
@@ -401,7 +427,8 @@ def plan_module(sites: list[ApiCallSite], events: list, *,
         return evaluate_assignment(sites, events, assignment,
                                    machines=machines, strategy=label,
                                    host_seconds=host_seconds, scale=scale,
-                                   exact=exact, fallback_lazy=greedy_lazy)
+                                   exact=exact, fallback_lazy=greedy_lazy,
+                                   profile=profile)
 
     def annotated(plan: PlacementPlan) -> PlacementPlan:
         for placed in plan.placed:
@@ -455,7 +482,8 @@ def plan_module(sites: list[ApiCallSite], events: list, *,
                                        machines=machines,
                                        host_seconds=0.0, scale=scale,
                                        exact=exact,
-                                       fallback_lazy=greedy_lazy)
+                                       fallback_lazy=greedy_lazy,
+                                       profile=profile)
             return plan.total_s
         extended.sort(key=partial_cost)
         beam = extended[:beam_width]
@@ -465,3 +493,294 @@ def plan_module(sites: list[ApiCallSite], events: list, *,
     best, _ = _refine(sites, best.assignment(), candidates, evaluate)
     best.strategy = strategy
     return annotated(best)
+
+
+# ---------------------------------------------------------------------------
+# Multi-request (contention-aware) placement
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PlacementRequest:
+    """One tenant's placement problem: a module's sites plus event log.
+
+    ``host_seconds`` is the tenant's uncovered sequential time (charged
+    after its last offload event); ``scale`` extrapolates statistics as
+    in :func:`plan_module`; ``greedy_lazy`` selects the legacy transfer
+    fallback used when the request carries no event log.
+    """
+
+    sites: list
+    events: list = field(default_factory=list)
+    host_seconds: float = 0.0
+    scale: float = 1.0
+    greedy_lazy: bool = True
+    label: str = ""
+
+    def call_sites(self) -> list:
+        return sorted((s for s in self.sites if s.kind == "call"),
+                      key=lambda s: s.call_id)
+
+
+@dataclass
+class _Step:
+    """One schedulable unit of a request: optional link transfers (in
+    order) followed by optional compute service on one location."""
+
+    __slots__ = ("transfers", "location", "service_s")
+
+    transfers: list          # [(link_location, seconds), ...]
+    location: str | None     # HOST, device name, or None (transfer-only)
+    service_s: float
+
+
+@dataclass
+class ConcurrentPlan:
+    """A joint assignment for several concurrent requests plus its
+    simulated schedule under shared devices and transfer links."""
+
+    strategy: str
+    requests: list
+    assignments: list        # per request: call_id -> SitePlacement
+    completions: list        # per request completion time (seconds)
+    wait_s: list             # per request time blocked on busy resources
+
+    @property
+    def sum_completion_s(self) -> float:
+        return sum(self.completions)
+
+    @property
+    def makespan_s(self) -> float:
+        return max(self.completions) if self.completions else 0.0
+
+    def locations(self, index: int) -> dict:
+        """call_id -> location for request ``index`` (runtime tracker
+        input, same shape as :meth:`PlacementPlan.locations`)."""
+        return {cid: p.location
+                for cid, p in self.assignments[index].items()}
+
+    def as_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "sum_completion_ms": self.sum_completion_s * 1e3,
+            "makespan_ms": self.makespan_s * 1e3,
+            "requests": [
+                {
+                    "label": req.label,
+                    "completion_ms": self.completions[i] * 1e3,
+                    "wait_ms": self.wait_s[i] * 1e3,
+                    "sites": {
+                        str(cid): p.describe()
+                        for cid, p in sorted(self.assignments[i].items())
+                    },
+                }
+                for i, req in enumerate(self.requests)
+            ],
+        }
+
+
+def _request_schedule(request: PlacementRequest, assignment: dict,
+                      machines: dict, profile=None) -> list:
+    """Compile one request into an ordered list of :class:`_Step`.
+
+    Exact mode replays the residency event log: each dynamic API call
+    becomes one step carrying its share of the site's compute+launch and
+    the link transfers its accesses force. Without an event log, each
+    site becomes one synthetic step whose legacy per-site transfer
+    occupies its device link. An epilogue step copies device-only
+    buffers back through their links.
+    """
+    sites = request.call_sites()
+    if not sites:
+        return []
+    exact = bool(request.events)
+    service: dict = {}
+    legacy_transfer: dict = {}
+    for site in sites:
+        placement = assignment[site.call_id]
+        scaled = site_at_scale(site, request.scale)
+        compute, launch = compute_launch_cost(scaled, placement.api,
+                                              placement.machine, profile)
+        service[site.call_id] = compute + launch
+        if not exact and placement.location != HOST:
+            legacy_transfer[site.call_id] = site_cost(
+                scaled, placement.api, placement.machine,
+                lazy_transfers=request.greedy_lazy,
+                profile=profile).transfer_s
+
+    events = list(request.events)
+    seen = {call_id for call_id, _ in events}
+    # Sites absent from the log still execute in the model (their compute
+    # comes from accumulated stats); give each a synthetic event so the
+    # schedule charges them.
+    events.extend((s.call_id, []) for s in sites if s.call_id not in seen)
+
+    n_ev: dict = {}
+    for call_id, _ in events:
+        n_ev[call_id] = n_ev.get(call_id, 0) + 1
+
+    by_id = {s.call_id: s for s in sites}
+    key_factor: dict = {}
+    for call_id, accesses in events:
+        site = by_id.get(call_id)
+        if site is None:
+            continue
+        factor = byte_scale_of(site, request.scale)
+        for key, _, _ in accesses:
+            key_factor[key] = max(key_factor.get(key, factor), factor)
+
+    steps: list = []
+    state = ResidencyState()
+    key_bytes: dict = {}
+    for call_id, accesses in events:
+        site = by_id.get(call_id)
+        if site is None:
+            continue
+        placement = assignment[call_id]
+        location = placement.location
+        transfers = []
+        for key, nbytes, mode in accesses:
+            scaled_bytes = nbytes * key_factor[key]
+            key_bytes[key] = scaled_bytes
+            for link, moved in state.access(location, key, scaled_bytes,
+                                            mode):
+                transfers.append(
+                    (link, _link_seconds(machines, link, moved, profile)))
+        if call_id in legacy_transfer:
+            transfers.append((location, legacy_transfer.pop(call_id)))
+        steps.append(_Step(transfers, location,
+                           service[call_id] / n_ev[call_id]))
+    epilogue = [(device, _link_seconds(machines, device,
+                                       key_bytes.get(key, 0.0), profile))
+                for key, device in state.device_only().items()]
+    if epilogue:
+        steps.append(_Step(epilogue, None, 0.0))
+    return steps
+
+
+def evaluate_concurrent(requests: list, assignments: list, *,
+                        machines: dict | None = None,
+                        profile=None,
+                        strategy: str = "custom") -> ConcurrentPlan:
+    """Deterministic list-scheduler replay of concurrent requests.
+
+    Host compute is per-tenant (each request models its own client
+    machine), while accelerator devices and their host links are shared:
+    a step needing a busy device or link waits for it. Events are
+    dispatched in global time order — always the request with the
+    smallest local clock, ties broken by request index — so the schedule
+    is a pure function of its inputs. Completion of a request is its
+    last offload event plus its uncovered ``host_seconds``; the plan
+    reports per-request completions, the sum (the objective
+    :func:`plan_concurrent` descends on) and the makespan.
+    """
+    if len(requests) != len(assignments):
+        raise PlacementError("one assignment per request required")
+    machines = machines or MACHINES
+    schedules = [_request_schedule(req, asg, machines, profile)
+                 for req, asg in zip(requests, assignments)]
+    clocks = [0.0] * len(requests)
+    waits = [0.0] * len(requests)
+    index = [0] * len(requests)
+    device_free: dict = {}
+    link_free: dict = {}
+    while True:
+        ready = [r for r in range(len(requests))
+                 if index[r] < len(schedules[r])]
+        if not ready:
+            break
+        r = min(ready, key=lambda i: (clocks[i], i))
+        step = schedules[r][index[r]]
+        index[r] += 1
+        t = clocks[r]
+        for link, seconds in step.transfers:
+            start = max(t, link_free.get(link, 0.0))
+            waits[r] += start - t
+            t = start + seconds
+            link_free[link] = t
+        if step.location is not None and step.service_s > 0.0:
+            if step.location == HOST:
+                t += step.service_s      # per-tenant host, no sharing
+            else:
+                start = max(t, device_free.get(step.location, 0.0))
+                waits[r] += start - t
+                t = start + step.service_s
+                device_free[step.location] = t
+        clocks[r] = t
+    completions = [clocks[r] + requests[r].host_seconds
+                   for r in range(len(requests))]
+    return ConcurrentPlan(strategy, list(requests),
+                          [dict(a) for a in assignments],
+                          completions, waits)
+
+
+def plan_concurrent(requests: list, *,
+                    registry: BackendRegistry | None = None,
+                    backends: list[str] | None = None,
+                    machines: dict | None = None,
+                    profile=None,
+                    independent: list | None = None,
+                    max_passes: int = 4) -> ConcurrentPlan:
+    """Jointly place every site of every concurrent request.
+
+    Starts from the per-request *independent* optima (each request
+    planned alone by :func:`plan_module`, passed in via ``independent``
+    or computed here) and from per-request static greedy, evaluates both
+    under the shared-resource replay, then runs coordinate descent —
+    re-placing one (request, site) at a time against the full joint
+    objective (sum of completion times). Descent only ever accepts
+    strict improvements, so the result is **never worse than independent
+    per-request placement** by construction.
+    """
+    machines = machines or MACHINES
+    registry = registry or default_registry()
+    if independent is None:
+        independent = [
+            plan_module(req.call_sites(), req.events, registry=registry,
+                        backends=backends, machines=machines,
+                        host_seconds=req.host_seconds, scale=req.scale,
+                        greedy_lazy=req.greedy_lazy,
+                        profile=profile).assignment()
+            for req in requests
+        ]
+    candidates = [
+        {site.call_id: candidate_placements(site, registry=registry,
+                                            backends=backends,
+                                            machines=machines)
+         for site in req.call_sites()}
+        for req in requests
+    ]
+    greedy = [
+        greedy_assignment(req.call_sites(), candidates[i],
+                          scale=req.scale, lazy=req.greedy_lazy)
+        for i, req in enumerate(requests)
+    ]
+
+    def joint(assignments, label="joint"):
+        return evaluate_concurrent(requests, assignments,
+                                   machines=machines, profile=profile,
+                                   strategy=label)
+
+    best = joint([dict(a) for a in independent])
+    greedy_plan = joint([dict(a) for a in greedy])
+    if greedy_plan.sum_completion_s < best.sum_completion_s:
+        best = greedy_plan
+    assignments = [dict(a) for a in best.assignments]
+    for _ in range(max_passes):
+        improved = False
+        for r, req in enumerate(requests):
+            for site in req.call_sites():
+                current = assignments[r][site.call_id]
+                for placement in candidates[r][site.call_id]:
+                    if placement == current:
+                        continue
+                    trial = [dict(a) for a in assignments]
+                    trial[r][site.call_id] = placement
+                    plan = joint(trial)
+                    if plan.sum_completion_s < best.sum_completion_s:
+                        best, assignments = plan, trial
+                        current = placement
+                        improved = True
+        if not improved:
+            break
+    best.strategy = "joint"
+    return best

@@ -21,6 +21,7 @@ repro.service`` is the CLI (:mod:`.__main__`).
 from .core import (
     DeadlineExpired,
     DetectionService,
+    PlanResult,
     ServiceConfig,
     ServiceDraining,
     ServiceError,
@@ -31,19 +32,23 @@ from .daemon import DEFAULT_PORT, DetectionDaemon, ServiceClient
 from .wire import (
     ERROR_KINDS,
     WIRE_VERSION,
+    decode_plan_request,
     decode_report,
     encode_error,
+    encode_plan_request,
+    encode_plan_result,
     encode_report,
     error_from_response,
     report_wire_fingerprint,
 )
 
 __all__ = [
-    "DetectionService", "ServiceConfig", "ServiceResult",
+    "DetectionService", "ServiceConfig", "ServiceResult", "PlanResult",
     "ServiceError", "ServiceOverloaded", "ServiceDraining",
     "DeadlineExpired",
     "DetectionDaemon", "ServiceClient", "DEFAULT_PORT",
     "WIRE_VERSION", "ERROR_KINDS",
     "decode_report", "encode_report", "report_wire_fingerprint",
+    "encode_plan_request", "decode_plan_request", "encode_plan_result",
     "encode_error", "error_from_response",
 ]

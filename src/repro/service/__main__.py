@@ -71,6 +71,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="how long SIGTERM waits for in-flight work "
                             "before exiting (default 30s)")
+    serve.add_argument("--profile", default=None, metavar="PATH",
+                       help="calibration profile JSON used to cost "
+                            "joint placement ('plan') batches "
+                            "(default: static constants)")
 
     detect = sub.add_parser("detect",
                             help="submit one module to a running daemon")
@@ -105,6 +109,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _serve(args) -> int:
+    profile = None
+    if args.profile is not None:
+        from ..platform.calibrate import read_profile_json
+
+        profile = read_profile_json(args.profile, strict=True)
     config = ServiceConfig(
         workers=args.workers, mode=args.mode, ordering=args.ordering,
         cache_dir=args.cache_dir,
@@ -114,7 +123,8 @@ def _serve(args) -> int:
         batch_window_s=args.window_ms / 1e3,
         max_batch=args.max_batch, dispatchers=args.dispatchers,
         deadline_s=args.deadline, max_retries=args.max_retries,
-        max_pending=args.max_pending, tenant_quota=args.tenant_quota)
+        max_pending=args.max_pending, tenant_quota=args.tenant_quota,
+        profile=profile)
     daemon = DetectionDaemon(args.host, args.port, config=config)
     host, port = daemon.address
 

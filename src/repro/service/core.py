@@ -46,6 +46,16 @@ to go fast when healthy:
   :meth:`health` is the cheap state/queue-depth probe the daemon's
   ``health`` op returns.
 
+Beyond detection, the service also serves **placement**:
+:meth:`submit_plan` enqueues a tenant's offload-placement problem (a
+:class:`~repro.platform.placement.PlacementRequest`) through the same
+admission/fairness/deadline path, and every placement request that lands
+in one micro-batch is placed **jointly** by
+:func:`~repro.platform.placement.plan_concurrent` under the service's
+calibration profile — the batch window is the contention domain, so
+co-arriving tenants share the simulated accelerators instead of each
+assuming an idle machine.
+
 Fault seams (:mod:`repro.reliability.faults`): ``service.admit`` fires
 per submission attempt (key: tenant), ``service.batch`` per formed batch
 (key: batch size) — both drive the ``bench_service_faults`` chaos
@@ -72,6 +82,7 @@ from ..idioms.scheduler import DetectionSession
 from ..ir.module import Module
 from ..ir.parser import parse_module
 from ..experiments.timing import percentile, summarize_latencies
+from ..platform.placement import ConcurrentPlan, plan_concurrent
 from ..reliability import faults
 
 
@@ -156,6 +167,10 @@ class ServiceConfig:
     #: tenants; everyone else gets ``default_weight``.
     tenant_weights: dict = field(default_factory=dict)
     default_weight: int = 1
+    #: Calibration profile
+    #: (:class:`~repro.platform.calibrate.CalibrationProfile`) used to
+    #: cost joint placement batches; None keeps the static constants.
+    profile: object | None = None
 
     def __post_init__(self):
         if self.mode not in ("thread", "process"):
@@ -193,10 +208,38 @@ class ServiceResult:
     latency_s: float
 
 
-class _Request:
-    __slots__ = ("module", "tenant", "future", "t_submit", "deadline_at")
+@dataclass
+class PlanResult:
+    """One placement request's answer: the **joint** plan over every
+    placement request co-batched with it, plus this tenant's index into
+    that plan. Two tenants whose requests shared a batch see the same
+    ``plan`` object with different indices."""
 
-    def __init__(self, module, tenant, deadline_s=None):
+    plan: ConcurrentPlan
+    index: int
+    tenant: str
+    latency_s: float
+
+    @property
+    def assignment(self) -> dict:
+        """call_id -> SitePlacement for this tenant's request."""
+        return self.plan.assignments[self.index]
+
+    @property
+    def completion_s(self) -> float:
+        return self.plan.completions[self.index]
+
+    def locations(self) -> dict:
+        """call_id -> location, the runtime tracker's input."""
+        return self.plan.locations(self.index)
+
+
+class _Request:
+    __slots__ = ("module", "tenant", "future", "t_submit", "deadline_at",
+                 "kind", "payload")
+
+    def __init__(self, module, tenant, deadline_s=None, kind="detect",
+                 payload=None):
         self.module = module
         self.tenant = tenant
         self.future: Future = Future()
@@ -205,6 +248,10 @@ class _Request:
         #: budget the client sent.
         self.deadline_at = (None if deadline_s is None
                             else time.monotonic() + deadline_s)
+        #: "detect" (module solve) or "plan" (joint placement); plan
+        #: requests carry their PlacementRequest in ``payload``.
+        self.kind = kind
+        self.payload = payload
 
 
 class _TenantState:
@@ -289,6 +336,8 @@ class DetectionService:
         self._errors = 0
         self._parse_hits = 0
         self._parse_misses = 0
+        self._plan_requests = 0
+        self._plan_batches = 0
 
     # -- lifecycle ----------------------------------------------------------------
     @property
@@ -410,6 +459,46 @@ class DetectionService:
         return self.submit(source, tenant=tenant,
                            deadline_s=deadline_s).result(timeout=timeout)
 
+    def submit_plan(self, request, tenant: str = "default",
+                    deadline_s: float | None = None) -> Future:
+        """Enqueue one offload-placement request
+        (:class:`~repro.platform.placement.PlacementRequest`); returns a
+        future resolving to a :class:`PlanResult`.
+
+        Placement requests ride the same admission control, per-tenant
+        fairness and deadline propagation as detection. Every placement
+        request drained into one micro-batch is placed **jointly** —
+        the batch window is the contention domain — so concurrent
+        tenants are costed against shared accelerators and links rather
+        than each assuming the machine to itself."""
+        if not self._started:
+            self.start()
+        tenant = str(tenant)
+        if deadline_s is not None and deadline_s <= 0:
+            raise DeadlineExpired(
+                f"placement request from tenant {tenant!r} arrived with "
+                f"an already-expired deadline ({deadline_s:.4g}s)")
+        faults.maybe_fire("service.admit", tenant)
+        pending = _Request(None, tenant, deadline_s, kind="plan",
+                           payload=request)
+        with self._queue_cond:
+            self._check_admission_locked(tenant)
+            state = self._tenant_locked(tenant)
+            self._requests += 1
+            state.admits += 1
+            state.queue.append(pending)
+            self._pending += 1
+            self._queue_cond.notify_all()
+        return pending.future
+
+    def plan(self, request, tenant: str = "default",
+             timeout: float | None = None,
+             deadline_s: float | None = None) -> PlanResult:
+        """Synchronous convenience: submit a placement request and wait."""
+        return self.submit_plan(request, tenant=tenant,
+                                deadline_s=deadline_s).result(
+                                    timeout=timeout)
+
     def health(self) -> dict:
         """The cheap liveness/lifecycle probe: state, queue depths,
         admission bounds. The daemon's ``health`` op returns this."""
@@ -453,6 +542,8 @@ class DetectionService:
                 "inflight_hits": self._inflight_hits,
                 "module_dedupe_hits": self._module_dedupe_hits,
                 "dedupe_ratio": served / total if total else 0.0,
+                "plan_requests": self._plan_requests,
+                "plan_batches": self._plan_batches,
                 "parse_cache": {"hits": self._parse_hits,
                                 "misses": self._parse_misses,
                                 "entries": len(self._parse_cache)},
@@ -599,6 +690,40 @@ class DetectionService:
             if state is not None:
                 state.expired += 1
 
+    def _serve_plans(self, batch: list[_Request]) -> None:
+        """Jointly place every placement request in this micro-batch.
+
+        The whole subset is one :func:`plan_concurrent` call — tenants
+        that arrived within the batch window contend for the simulated
+        accelerators, so each tenant's answer already accounts for its
+        co-travellers. Failures resolve each future with the typed
+        exception; detection requests in the same batch are unaffected.
+        """
+        try:
+            plan = plan_concurrent([r.payload for r in batch],
+                                   profile=self.config.profile)
+            now = time.perf_counter()
+            with self._lock:
+                self._plan_requests += len(batch)
+                self._plan_batches += 1
+                for request in batch:
+                    latency = now - request.t_submit
+                    self._latencies.append(latency)
+                    state = self._tenants.get(request.tenant)
+                    if state is not None:
+                        state.completed += 1
+                        state.latencies.append(latency)
+            for i, request in enumerate(batch):
+                request.future.set_result(PlanResult(
+                    plan, i, request.tenant, now - request.t_submit))
+        except BaseException as exc:
+            with self._lock:
+                self._errors += sum(
+                    1 for r in batch if not r.future.done())
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+
     def _run_batch(self, batch: list[_Request]):
         t_batch = time.perf_counter()
         size = len(batch)
@@ -624,6 +749,14 @@ class DetectionService:
                         f"{time.perf_counter() - request.t_submit:.3f}s "
                         f"in the service queue"))
             batch = live
+            if not batch:
+                return
+            # Placement requests co-batched here form one joint
+            # contention domain; detection continues below on the rest.
+            plan_batch = [r for r in batch if r.kind == "plan"]
+            batch = [r for r in batch if r.kind == "detect"]
+            if plan_batch:
+                self._serve_plans(plan_batch)
             if not batch:
                 return
             # Step 2: the tightest surviving budget bounds the solve via

@@ -2,12 +2,18 @@
 
 Protocol: line-delimited JSON over TCP. Each request line is an object
 with an ``op`` — ``detect`` (fields ``module``: IR text, optional
-``tenant`` and ``deadline_s``), ``stats``, ``health``, ``ping``,
-``drain`` (optional ``timeout_s``), ``shutdown`` — and each response
-line an object with ``ok``. A ``detect`` response carries the report in
-the structural wire format (:mod:`.wire`); the client rebinds it against
+``tenant`` and ``deadline_s``), ``plan`` (field ``request``: an encoded
+:class:`~repro.platform.placement.PlacementRequest`, optional ``tenant``
+and ``deadline_s``), ``stats``, ``health``, ``ping``, ``drain``
+(optional ``timeout_s``), ``shutdown`` — and each response line an
+object with ``ok``. A ``detect`` response carries the report in the
+structural wire format (:mod:`.wire`); the client rebinds it against
 its own parse of the submitted text, so daemon answers are bit-identical
-to local :func:`~repro.idioms.detect_idioms` runs.
+to local :func:`~repro.idioms.detect_idioms` runs. A ``plan`` response
+carries the tenant's slice of the joint placement its micro-batch was
+costed under — concurrent ``plan`` calls contend for the simulated
+accelerators together (see
+:meth:`~repro.service.core.DetectionService.submit_plan`).
 
 Error responses are structured: ``{"ok": false, "kind": ..., "error":
 ..., "retry_after_s": ...}`` with ``kind`` one of
@@ -37,8 +43,10 @@ import time
 from ..errors import IDLError, InjectedFault
 from ..ir.parser import parse_module
 from ..reliability import faults
+from ..platform.placement import PlacementRequest
 from .core import DetectionService, ServiceConfig
-from .wire import decode_report, encode_error, encode_report, \
+from .wire import decode_plan_request, decode_report, encode_error, \
+    encode_plan_request, encode_plan_result, encode_report, \
     error_from_response
 
 #: The daemon's well-known default port (the CLI's default endpoint).
@@ -145,6 +153,21 @@ class DetectionDaemon(socketserver.ThreadingTCPServer):
                 else float(deadline_s))
             return {"ok": True,
                     "report": encode_report(result.report),
+                    "tenant": result.tenant,
+                    "latency_s": result.latency_s}
+        if op == "plan":
+            payload = request.get("request")
+            if not isinstance(payload, dict):
+                raise IDLError("plan needs a 'request' object field "
+                               "(an encoded PlacementRequest)")
+            deadline_s = request.get("deadline_s")
+            result = self.service.plan(
+                decode_plan_request(payload),
+                tenant=str(request.get("tenant", "default")),
+                deadline_s=None if deadline_s is None
+                else float(deadline_s))
+            return {"ok": True,
+                    "plan": encode_plan_result(result),
                     "tenant": result.tenant,
                     "latency_s": result.latency_s}
         if op == "drain":
@@ -362,6 +385,24 @@ class ServiceClient:
             payload["deadline_s"] = deadline_s
             deadline_at = time.monotonic() + deadline_s
         return self.request(payload, deadline_at=deadline_at)
+
+    def plan(self, request, tenant: str = "default",
+             deadline_s: float | None = None) -> dict:
+        """Joint placement through the daemon: ``request`` is a
+        :class:`~repro.platform.placement.PlacementRequest` (encoded
+        here) or an already-encoded wire dict. Returns the ``plan``
+        payload: this tenant's ``assignment``/``locations``, its
+        ``completion_ms`` under contention with whatever co-batched
+        with it, and the batch totals. Idempotent, hence retry-safe:
+        planning is a pure costing computation."""
+        if isinstance(request, PlacementRequest):
+            request = encode_plan_request(request)
+        payload = {"op": "plan", "request": request, "tenant": tenant}
+        deadline_at = None
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+            deadline_at = time.monotonic() + deadline_s
+        return self.request(payload, deadline_at=deadline_at)["plan"]
 
     def detect_report(self, ir_text: str, tenant: str = "default",
                       module=None, deadline_s: float | None = None):

@@ -1,4 +1,4 @@
-"""JSON wire format for whole detection reports.
+"""JSON wire format for whole detection reports and placement requests.
 
 The daemon's line protocol ships reports as pure JSON: matches carry the
 scheduler's structural solution tokens (block/instruction indices,
@@ -11,6 +11,14 @@ one report. A client that parses the module text it submitted can
 its own IR objects, bit-identical (under the structural fingerprint) to
 a local :func:`~repro.idioms.detect_idioms` run — the property the
 service benchmark gates on.
+
+Placement requests travel the same way: :func:`encode_plan_request`
+flattens a :class:`~repro.platform.placement.PlacementRequest` (sites as
+metadata dicts — handlers never cross the wire — events as nested
+lists), :func:`decode_plan_request` rebuilds it daemon-side, and
+:func:`encode_plan_result` ships one tenant's slice of the joint plan:
+its ``API@device`` assignment, its completion under contention, and the
+batch-level totals so the client can see who it shared the machine with.
 """
 
 from __future__ import annotations
@@ -18,13 +26,16 @@ from __future__ import annotations
 import hashlib
 import json
 
+from ..backends.api import ApiCallSite
 from ..errors import IDLError, InjectedFault, ReproError
 from ..idl.solver import SolverStats
 from ..idioms.matches import DetectionReport, IdiomMatch
 from ..idioms.scheduler import decode_solution, encode_solution
 from ..ir.module import Module
+from ..platform.placement import PlacementRequest
 from .core import (
     DeadlineExpired,
+    PlanResult,
     ServiceDraining,
     ServiceError,
     ServiceOverloaded,
@@ -151,3 +162,88 @@ def decode_report(payload: dict, module: Module) -> DetectionReport:
                        decode_solution(encoded, function, module),
                        stats=None if index is None else pool[index]))
     return report
+
+
+# ---------------------------------------------------------------------------
+# Placement requests and joint-plan results
+# ---------------------------------------------------------------------------
+
+def encode_plan_request(request: PlacementRequest) -> dict:
+    """One placement request as a JSON-safe dict.
+
+    Sites ship as cost-model metadata only — the handler callable stays
+    on the client; the daemon's planner never executes sites, it only
+    costs them."""
+    return {
+        "sites": [
+            {
+                "call_id": s.call_id,
+                "idiom": s.idiom,
+                "category": s.category,
+                "stats": dict(s.stats),
+                "backend": s.backend,
+                "reads": list(s.reads),
+                "writes": list(s.writes),
+            }
+            for s in request.call_sites()
+        ],
+        "events": [
+            [call_id, [[key, nbytes, mode]
+                       for key, nbytes, mode in accesses]]
+            for call_id, accesses in request.events
+        ],
+        "host_seconds": request.host_seconds,
+        "scale": request.scale,
+        "greedy_lazy": bool(request.greedy_lazy),
+        "label": request.label,
+    }
+
+
+def decode_plan_request(payload: dict) -> PlacementRequest:
+    """The daemon-side inverse of :func:`encode_plan_request`. Raises
+    :class:`~repro.errors.IDLError` on a mis-shaped payload (reported to
+    the client as ``bad-request``)."""
+    try:
+        sites = [
+            ApiCallSite(int(s["call_id"]), str(s["idiom"]),
+                        str(s["category"]), None,
+                        stats=dict(s.get("stats", {})),
+                        backend=str(s.get("backend", "")),
+                        reads=tuple(s.get("reads", ())),
+                        writes=tuple(s.get("writes", ())))
+            for s in payload["sites"]
+        ]
+        events = [
+            (int(call_id), tuple((key, float(nbytes), str(mode))
+                                 for key, nbytes, mode in accesses))
+            for call_id, accesses in payload.get("events", [])
+        ]
+        return PlacementRequest(
+            sites, events,
+            host_seconds=float(payload.get("host_seconds", 0.0)),
+            scale=float(payload.get("scale", 1.0)),
+            greedy_lazy=bool(payload.get("greedy_lazy", True)),
+            label=str(payload.get("label", "")))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IDLError(f"malformed placement request: {exc}") from exc
+
+
+def encode_plan_result(result: PlanResult) -> dict:
+    """One tenant's slice of a joint plan as a JSON-safe dict: its own
+    ``API@device`` assignment and completion, plus the batch totals."""
+    plan = result.plan
+    i = result.index
+    return {
+        "assignment": {str(cid): p.describe()
+                       for cid, p in sorted(plan.assignments[i].items())},
+        "locations": {str(cid): loc
+                      for cid, loc in sorted(plan.locations(i).items())},
+        "completion_ms": plan.completions[i] * 1e3,
+        "wait_ms": plan.wait_s[i] * 1e3,
+        "batch": {
+            "strategy": plan.strategy,
+            "requests": len(plan.requests),
+            "sum_completion_ms": plan.sum_completion_s * 1e3,
+            "makespan_ms": plan.makespan_s * 1e3,
+        },
+    }

@@ -1,0 +1,272 @@
+"""Measured cost calibration: profile round-trips, persistence,
+fingerprint guards, the probe harness, and the cost-model fallback
+contract (static constants only where the profile is silent)."""
+
+import json
+import os
+
+import pytest
+
+from repro.backends.api import ApiCallSite, ApiDescriptor
+from repro.cache import ArtifactStore
+from repro.errors import CalibrationError
+from repro.platform.calibrate import (
+    CalibrationProfile,
+    Calibrator,
+    EFFICIENCY_FLOOR,
+    PROFILE_VERSION,
+    load_profile,
+    machine_identity,
+    profile_store_key,
+    read_profile_json,
+    registry_signature,
+    save_profile,
+    write_profile_json,
+)
+from repro.platform.cost import (
+    DEFAULT_EFFICIENCY,
+    OPENCL,
+    OPENMP,
+    best_api_cost,
+    effective_efficiency,
+    launch_overhead_us,
+    reference_time,
+    site_cost,
+    transfer_link,
+)
+from repro.platform.machine import CPU, GPU, MACHINES
+from repro.platform.placement import scaled_stats, site_at_scale
+
+
+def _site(category="matrix_op", calls=4, elements=1000, flops=2.0,
+          nbytes=16000):
+    site = ApiCallSite(0, "idiom", category, None)
+    site.stats = {"calls": calls, "elements": elements,
+                  "flops_per_element": flops, "bytes": nbytes}
+    return site
+
+
+def _profile(**overrides):
+    base = dict(
+        machine_id=machine_identity(),
+        registry_signature=registry_signature(),
+        created_at=123.0,
+        host={"gemm_gflops": 40.0},
+        category_fraction={"matrix_op": 0.5},
+        efficiency={"cuBLAS|matrix_op|gpu": 0.31, "MKL|matrix_op|cpu": 0.5},
+        launch_us={"cuBLAS|gpu": 20.0},
+        link_gbs={"gpu": 4.0},
+        link_latency_us={"gpu": 30.0},
+        scalar_ns={"load": 2.4, "fmul": 1.5},
+        probes={"copy_gbs": 4.0},
+    )
+    base.update(overrides)
+    return CalibrationProfile(**base)
+
+
+# ---------------------------------------------------------------------------
+# Profile serialisation and persistence
+# ---------------------------------------------------------------------------
+
+def test_profile_dict_roundtrip():
+    profile = _profile()
+    clone = CalibrationProfile.from_dict(profile.as_dict())
+    assert clone == profile
+    assert clone.efficiency_for("cuBLAS", "matrix_op", "gpu") == 0.31
+    assert clone.efficiency_for("cuBLAS", "matrix_op", "cpu") is None
+    assert clone.launch_us_for("cuBLAS", "gpu") == 20.0
+    assert clone.launch_us_for("MKL", "cpu") is None
+    assert clone.link_for("gpu") == (4.0, 30.0)
+    assert clone.link_for("igpu") is None
+
+
+def test_profile_version_and_shape_guards():
+    payload = _profile().as_dict()
+    payload["profile_version"] = PROFILE_VERSION + 1
+    with pytest.raises(CalibrationError):
+        CalibrationProfile.from_dict(payload)
+    with pytest.raises(CalibrationError):
+        CalibrationProfile.from_dict({"profile_version": PROFILE_VERSION})
+    with pytest.raises(CalibrationError):
+        CalibrationProfile.from_dict("not a dict")
+
+
+def test_store_roundtrip_and_corruption(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    profile = _profile()
+    assert save_profile(profile, store)
+    loaded = load_profile(store)
+    assert loaded == profile
+
+    # Corrupt the stored entry in place: load degrades to a miss.
+    key = profile_store_key(profile.machine_id,
+                            profile.registry_signature)
+    [path] = [os.path.join(root, name)
+              for root, _, names in os.walk(tmp_path)
+              for name in names if key[:8] in name]
+    with open(path, "w") as fh:
+        fh.write("{ torn write")
+    assert load_profile(ArtifactStore(str(tmp_path))) is None
+
+
+def test_store_rejects_stale_signature(tmp_path):
+    """An entry whose recorded signature disagrees with the current
+    registry reads back as None — never as stale parameters."""
+    store = ArtifactStore(str(tmp_path))
+    signature = registry_signature()
+    stale = _profile(registry_signature="0" * 64)
+    store.put(profile_store_key(machine_identity(), signature),
+              {"profile": stale.as_dict()})
+    assert load_profile(store) is None
+
+
+def test_json_file_roundtrip(tmp_path):
+    path = str(tmp_path / "prof.json")
+    profile = _profile()
+    write_profile_json(profile, path)
+    assert read_profile_json(path) == profile
+    with open(path) as fh:
+        assert json.load(fh)["profile"]["machine_id"] == profile.machine_id
+
+    with open(path, "w") as fh:
+        fh.write("not json")
+    assert read_profile_json(path) is None
+    with pytest.raises(CalibrationError):
+        read_profile_json(path, strict=True)
+    with pytest.raises(CalibrationError):
+        read_profile_json(str(tmp_path / "missing.json"), strict=True)
+
+
+def test_registry_signature_tracks_constants():
+    base = registry_signature()
+    assert base == registry_signature()  # deterministic
+    altered = dict(MACHINES)
+    altered["gpu"] = GPU.__class__(
+        name="gpu", description=GPU.description,
+        peak_gflops=GPU.peak_gflops + 1,
+        mem_bandwidth_gbs=GPU.mem_bandwidth_gbs,
+        transfer_gbs=GPU.transfer_gbs,
+        transfer_latency_us=GPU.transfer_latency_us, cores=GPU.cores)
+    assert registry_signature(machines=altered) != base
+
+
+# ---------------------------------------------------------------------------
+# The measuring harness
+# ---------------------------------------------------------------------------
+
+def test_fast_calibrator_produces_sane_profile():
+    profile = Calibrator(fast=True, repeats=1).run()
+    assert profile.machine_id == machine_identity()
+    assert profile.matches(registry_signature())
+    for category, fraction in profile.category_fraction.items():
+        assert 0.0 < fraction <= 1.0, category
+    assert profile.efficiency, "no efficiencies derived"
+    for key, eff in profile.efficiency.items():
+        assert EFFICIENCY_FLOOR <= eff <= 1.0, key
+    for device in ("igpu", "gpu"):
+        gbs, latency = profile.link_for(device)
+        assert gbs > 0 and latency > 0
+    assert profile.scalar_ns is not None
+    assert all(v >= 0 for v in profile.scalar_ns.values())
+    assert any(v > 0 for v in profile.scalar_ns.values())
+    # Profiles persist through the store they were measured for.
+    assert profile.sequential_seconds({"load": 1000}) > 0
+
+
+# ---------------------------------------------------------------------------
+# Cost-model fallback contract
+# ---------------------------------------------------------------------------
+
+def test_default_efficiency_is_shared_prior():
+    assert DEFAULT_EFFICIENCY == 0.3
+    site = _site(category="spectral_op")
+    api = ApiDescriptor("X", "library", ("cpu",), {"matrix_op": 0.9}, 5.0)
+    assert effective_efficiency(site, api, CPU) == DEFAULT_EFFICIENCY
+
+
+def test_profile_overrides_with_static_fallback():
+    site = _site()
+    cublas = ApiDescriptor("cuBLAS", "library", ("gpu",),
+                           {"matrix_op": 0.92}, 8.0)
+    profile = _profile()
+    assert effective_efficiency(site, cublas, GPU) == 0.92
+    assert effective_efficiency(site, cublas, GPU, profile) == 0.31
+    assert launch_overhead_us(cublas, GPU, profile) == 20.0
+    # The profile covers no cpu link; host memory stays infinite.
+    assert transfer_link(CPU, profile) == (float("inf"), 0.0)
+    assert transfer_link(GPU, profile) == (4.0, 30.0)
+    assert transfer_link(GPU) == (GPU.transfer_gbs,
+                                  GPU.transfer_latency_us)
+
+
+def test_site_cost_lazy_vs_eager_transfer():
+    """Regression for the collapsed transfer branch: eager charges every
+    call's latency and the full byte volume; lazy charges the resident
+    per-call division plus one upload+download latency bracket."""
+    calls, nbytes = 4, 16000.0
+    site = _site(calls=calls, nbytes=nbytes)
+    api = ApiDescriptor("X", "library", ("gpu",), {"matrix_op": 0.5}, 8.0)
+    eager = site_cost(site, api, GPU, lazy_transfers=False)
+    lazy = site_cost(site, api, GPU, lazy_transfers=True)
+    link = GPU.transfer_gbs * 1e9
+    assert eager.transfer_s == pytest.approx(
+        nbytes / link + calls * GPU.transfer_latency_us * 1e-6)
+    assert lazy.transfer_s == pytest.approx(
+        nbytes / calls / link + 2 * GPU.transfer_latency_us * 1e-6)
+    assert lazy.transfer_s < eager.transfer_s
+    # Same breakdown otherwise: the branch only changes transfer.
+    assert eager.compute_s == lazy.compute_s
+    assert eager.launch_s == lazy.launch_s
+    # Host memory never pays transfer, under either policy.
+    api_cpu = ApiDescriptor("Y", "library", ("cpu",),
+                            {"matrix_op": 0.5}, 8.0)
+    assert site_cost(site, api_cpu, CPU, lazy_transfers=False).transfer_s \
+        == 0.0
+    assert site_cost(site, api_cpu, CPU, lazy_transfers=True).transfer_s \
+        == 0.0
+
+
+def test_best_api_cost_tie_breaks_to_earliest():
+    site = _site()
+    a = ApiDescriptor("A", "library", ("cpu",), {"matrix_op": 0.5}, 5.0)
+    b = ApiDescriptor("B", "library", ("cpu",), {"matrix_op": 0.5}, 5.0)
+    best_ab = best_api_cost(site, [a, b], CPU)
+    best_ba = best_api_cost(site, [b, a], CPU)
+    assert best_ab[0] is a
+    assert best_ba[0] is b
+    assert best_ab[1].total_s == best_ba[1].total_s
+    # No applicable API -> None, not an arbitrary pick.
+    gpu_only = ApiDescriptor("G", "library", ("gpu",),
+                             {"matrix_op": 0.9}, 8.0)
+    assert best_api_cost(site, [gpu_only], CPU) is None
+
+
+def test_reference_time_amdahl():
+    seq = 10.0
+    half = reference_time(seq, 0.5, OPENMP)
+    assert half == pytest.approx(5.0 + 5.0 / OPENMP.base_factor)
+    # Coverage is clamped into [0, 1].
+    assert reference_time(seq, 2.0, OPENMP) == \
+        pytest.approx(seq / OPENMP.base_factor)
+    assert reference_time(seq, -1.0, OPENMP) == pytest.approx(seq)
+    # whole_program ignores coverage; algorithmic_factor compounds.
+    whole = reference_time(seq, 0.1, OPENCL, whole_program=True,
+                           algorithmic_factor=2.0)
+    assert whole == pytest.approx(seq / (OPENCL.base_factor * 2.0))
+
+
+def test_site_at_scale_and_scaled_stats():
+    matrix = _site(category="matrix_op", elements=1000, nbytes=8000)
+    stats = scaled_stats(matrix, 8.0)
+    assert stats["elements"] == pytest.approx(8000)
+    assert stats["bytes"] == pytest.approx(8000 * 8.0 ** (2.0 / 3.0))
+    linear = _site(category="stencil", elements=1000, nbytes=8000)
+    assert scaled_stats(linear, 8.0)["bytes"] == pytest.approx(64000)
+
+    assert site_at_scale(matrix, 1.0) is matrix  # identity at scale 1
+    clone = site_at_scale(matrix, 8.0)
+    assert clone is not matrix
+    assert clone.call_id == matrix.call_id
+    assert clone.category == matrix.category
+    assert clone.stats["elements"] == pytest.approx(8000)
+    assert matrix.stats["elements"] == 1000  # original untouched

@@ -18,9 +18,12 @@ from repro.errors import BackendError, PlacementError
 from repro.platform import CPU, GPU, MACHINES
 from repro.platform.placement import (
     HOST,
+    PlacementRequest,
     ResidencyState,
     SitePlacement,
     evaluate_assignment,
+    evaluate_concurrent,
+    plan_concurrent,
     plan_module,
 )
 from repro.runtime import (
@@ -416,3 +419,94 @@ class TestCliAndBench:
         greedy, planner = harness.workload_plans(ev, "beam")
         assert planner.total_s <= greedy.total_s * (1 + 1e-12)
         assert planner.placed and planner.placed[0].placement.api.name
+
+
+# ---------------------------------------------------------------------------
+# Multi-request (contention-aware) placement
+# ---------------------------------------------------------------------------
+
+class TestConcurrentPlacement:
+    @staticmethod
+    def _requests(n, host_seconds=0.01):
+        requests = []
+        for _ in range(n):
+            runtime, events = _synthetic_runtime()
+            requests.append(PlacementRequest(
+                runtime.all_sites(), events, host_seconds=host_seconds))
+        return requests
+
+    def test_evaluate_concurrent_is_deterministic(self):
+        requests = self._requests(3)
+        assignments = [plan_module(r.sites, r.events,
+                                   host_seconds=r.host_seconds).assignment()
+                       for r in requests]
+        a = evaluate_concurrent(requests, assignments)
+        b = evaluate_concurrent(requests, assignments)
+        assert a.completions == b.completions
+        assert a.wait_s == b.wait_s
+        assert a.sum_completion_s == b.sum_completion_s
+
+    def test_shared_device_serialises(self):
+        """Identical single-site requests pinned on one device queue up:
+        each later tenant waits at least as long as the one before it."""
+        lift = API_DESCRIPTORS["Lift"]
+        requests = []
+        for _ in range(4):
+            runtime = ApiRuntime()
+            site = runtime.new_site("Stencil1D", "stencil",
+                                    lambda args, engine: None)
+            site.stats = {"calls": 1, "elements": 1e6,
+                          "flops_per_element": 4, "bytes": 8e6}
+            requests.append(PlacementRequest([site]))
+        assignments = [{0: SitePlacement(lift, GPU)} for _ in requests]
+        plan = evaluate_concurrent(requests, assignments)
+        assert plan.wait_s[0] == 0.0
+        for earlier, later in zip(plan.wait_s, plan.wait_s[1:]):
+            assert later >= earlier
+        assert plan.wait_s[-1] > 0.0
+        assert sorted(plan.completions) == plan.completions
+        # The same work spread across cpu copies shares nothing.
+        omp = {0: SitePlacement(OPENMP_RT, CPU)}
+        spread = evaluate_concurrent(requests, [omp] * len(requests))
+        assert spread.wait_s == [0.0] * len(requests)
+
+    def test_joint_never_worse_than_independent(self):
+        requests = self._requests(4)
+        independent = [plan_module(r.sites, r.events,
+                                   host_seconds=r.host_seconds).assignment()
+                       for r in requests]
+        solo = evaluate_concurrent(requests, independent)
+        joint = plan_concurrent(requests, independent=independent)
+        assert joint.strategy == "joint"
+        assert joint.sum_completion_s <= \
+            solo.sum_completion_s * (1 + 1e-12)
+        assert len(joint.assignments) == len(requests)
+        assert joint.makespan_s <= solo.makespan_s * (1 + 1e-9) or \
+            joint.sum_completion_s < solo.sum_completion_s
+
+    def test_joint_spreads_contended_tenants(self):
+        """When every tenant's solo-optimal device is the same one, the
+        joint planner moves someone: under contention the batch finishes
+        strictly sooner than everyone-queues-for-their-favourite."""
+        lift = API_DESCRIPTORS["Lift"]
+        requests = []
+        for _ in range(6):
+            runtime = ApiRuntime()
+            site = runtime.new_site("Stencil1D", "stencil",
+                                    lambda args, engine: None)
+            site.stats = {"calls": 8, "elements": 4e6,
+                          "flops_per_element": 40, "bytes": 32e6}
+            requests.append(PlacementRequest([site]))
+        pinned = [{0: SitePlacement(lift, GPU)} for _ in requests]
+        queued = evaluate_concurrent(requests, pinned)
+        joint = plan_concurrent(requests)
+        assert joint.sum_completion_s <= queued.sum_completion_s
+        locations = {loc for i in range(len(requests))
+                     for loc in joint.locations(i).values()}
+        if joint.sum_completion_s < queued.sum_completion_s:
+            assert len(locations) > 1  # actually spread out
+
+    def test_mismatched_lengths_rejected(self):
+        requests = self._requests(2)
+        with pytest.raises(PlacementError):
+            evaluate_concurrent(requests, [{}])
